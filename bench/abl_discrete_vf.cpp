@@ -1,0 +1,54 @@
+/// \file abl_discrete_vf.cpp
+/// Ablation C — continuous vs discrete V/F operating points. The paper's
+/// footnote 2 claims results remain valid when the controller can only
+/// pick from discrete levels. This bench quantizes the VF curve to 4, 8
+/// and 16 evenly spaced levels (requests snap UP so timing still closes)
+/// and compares delay and power against continuous tuning for both
+/// policies.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace nocdvfs;
+
+int main() {
+  bench::banner("Ablation C", "Continuous vs discrete V/F levels (paper footnote 2)");
+
+  const sim::ExperimentConfig base = bench::paper_default_config();
+  const bench::Anchors anchors = bench::compute_anchors(base);
+  const double lambda = 0.45 * anchors.lambda_sat;
+  std::cout << "operating point lambda = " << common::Table::fmt(lambda, 3) << "\n\n";
+
+  common::Table table({"policy", "levels", "delay[ns]", "freq[GHz]", "Vdd[V]", "power[mW]",
+                       "power vs cont."});
+  for (const sim::Policy policy : {sim::Policy::Rmsd, sim::Policy::Dmsd}) {
+    double continuous_power = 0.0;
+    for (const int levels : {0, 16, 8, 4}) {
+      sim::ExperimentConfig cfg = base;
+      cfg.lambda = lambda;
+      cfg.policy.policy = policy;
+      cfg.policy.lambda_max = anchors.lambda_max;
+      cfg.policy.target_delay_ns = anchors.target_delay_ns;
+      cfg.vf_levels = levels;
+      cfg.phases = bench::bench_phases();
+      const auto r = sim::run_synthetic_experiment(cfg);
+      if (levels == 0) continuous_power = r.power_mw();
+      table.add_row({sim::to_string(policy), levels == 0 ? "cont." : std::to_string(levels),
+                     common::Table::fmt(r.avg_delay_ns, 1),
+                     common::Table::fmt(r.avg_frequency_ghz(), 3),
+                     common::Table::fmt(r.avg_voltage, 3),
+                     common::Table::fmt(r.power_mw(), 1),
+                     common::Table::fmt(100.0 * (r.power_mw() / continuous_power - 1.0), 1) +
+                         "%"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: snapping UP to the next level overshoots the policy's operating\n"
+               "point — a few percent of extra power for RMSD, more for DMSD on coarse\n"
+               "grids (it lands below its delay target and pays for the margin). The\n"
+               "RMSD-vs-DMSD verdict — delay penalty exceeds power advantage — never\n"
+               "flips, which is the sense of the paper's footnote 2.\n";
+  return 0;
+}

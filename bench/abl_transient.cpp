@@ -1,0 +1,91 @@
+/// \file abl_transient.cpp
+/// Ablation F — controller step response. Offered load steps from
+/// 0.3·λ_max to 0.8·λ_max mid-run; the per-window trace shows how each
+/// policy re-acquires its operating point:
+///   * RMSD (open loop) retunes in ONE control window — the rate law needs
+///     no history;
+///   * DMSD's PI loop walks its integrator over several windows (the
+///     reactivity side of the paper's gains compromise), with a transient
+///     delay excursion until the target is re-acquired.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "traffic/step_load.hpp"
+
+using namespace nocdvfs;
+
+int main() {
+  bench::banner("Ablation F", "Load-step transient: RMSD vs DMSD control traces");
+
+  sim::ExperimentConfig base = bench::paper_default_config();
+  const bench::Anchors anchors = bench::compute_anchors(base);
+  const double lambda_lo = 0.3 * anchors.lambda_max;
+  const double lambda_hi = 0.8 * anchors.lambda_max;
+
+  // The step fires after the (non-adaptive) warmup, inside the measured
+  // region, so the whole transient lands in the window trace.
+  sim::RunPhases phases = bench::bench_phases();
+  phases.adaptive_warmup = false;
+  phases.warmup_node_cycles = 200000;
+  phases.measure_node_cycles = 300000;
+  const common::Picoseconds step_ps = 300000ull * 1000ull;  // node cycle 300k
+
+  std::cout << "load step: " << common::Table::fmt(lambda_lo, 3) << " -> "
+            << common::Table::fmt(lambda_hi, 3) << " flits/cycle/node at t = 300 us\n"
+            << "DMSD target = " << common::Table::fmt(anchors.target_delay_ns, 1) << " ns\n\n";
+
+  for (const sim::Policy policy : {sim::Policy::Rmsd, sim::Policy::Dmsd}) {
+    noc::MeshTopology topo(base.network.width, base.network.height);
+    traffic::SyntheticTrafficParams before, after;
+    before.lambda = lambda_lo;
+    before.packet_size = base.packet_size;
+    after = before;
+    after.lambda = lambda_hi;
+    after.seed = 2;
+
+    sim::SimulatorConfig sim_cfg;
+    sim_cfg.network = base.network;
+    sim_cfg.control_period_node_cycles = bench::bench_control_period();
+
+    sim::PolicyConfig pc;
+    pc.policy = policy;
+    pc.lambda_max = anchors.lambda_max;
+    pc.target_delay_ns = anchors.target_delay_ns;
+
+    const auto r = sim::run_custom_experiment(
+        sim_cfg, std::make_unique<traffic::StepLoadTraffic>(topo, before, after, step_ps), pc,
+        0, phases);
+
+    std::cout << "--- " << sim::to_string(policy) << " window trace around the step ---\n";
+    common::Table table({"t[us]", "window delay[ns]", "freq[GHz]", "packets"});
+    int settle_windows = -1;
+    int windows_after_step = 0;
+    for (const auto& w : r.window_trace) {
+      const double t_us = common::us_from_ps(w.t);
+      // Print a band around the step; count windows to re-settle.
+      if (t_us >= 280.0 && t_us <= 420.0) {
+        table.add_row({common::Table::fmt(t_us, 0), common::Table::fmt(w.avg_delay_ns, 1),
+                       common::Table::fmt(w.f_applied / 1e9, 3), std::to_string(w.packets)});
+      }
+      if (w.t > step_ps) {
+        ++windows_after_step;
+        const bool on_target =
+            policy == sim::Policy::Dmsd
+                ? std::abs(w.avg_delay_ns - anchors.target_delay_ns) <
+                      0.15 * anchors.target_delay_ns
+                : std::abs(w.f_applied / 1e9 - lambda_hi / anchors.lambda_max) < 0.05;
+        if (on_target && settle_windows < 0) settle_windows = windows_after_step;
+      }
+    }
+    table.print(std::cout);
+    std::cout << "re-acquired operating point " << (settle_windows < 0 ? 999 : settle_windows)
+              << " control windows after the step\n\n";
+  }
+  std::cout << "Reading: the open-loop rate law is one-window reactive by construction;\n"
+               "the PI loop trades windows of transient delay for its steady-state\n"
+               "guarantee — increasing K_I/K_P (ablation B) buys back reaction time at\n"
+               "the cost of ripple.\n";
+  return 0;
+}

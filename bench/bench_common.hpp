@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the figure-reproduction benches: paper-faithful
+/// default phases, the λ_max / DMSD-target anchoring procedure, sweep
+/// helpers and uniform banner output.
+///
+/// Environment: set NOCDVFS_BENCH_FAST=1 to shrink sweeps and phases
+/// (~4× faster, coarser curves). Each bench also accepts key=value
+/// overrides where noted in its header comment.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/saturation.hpp"
+
+namespace nocdvfs::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("NOCDVFS_BENCH_FAST");
+  return v != nullptr && std::string(v) != "0";
+}
+
+/// Paper-faithful run phases (control period stays the config's 10 000
+/// node cycles); FAST mode shortens everything.
+inline sim::RunPhases bench_phases() {
+  sim::RunPhases phases;
+  if (fast_mode()) {
+    phases.warmup_node_cycles = 60000;
+    phases.measure_node_cycles = 50000;
+    phases.max_warmup_node_cycles = 400000;
+  } else {
+    phases.warmup_node_cycles = 120000;
+    phases.measure_node_cycles = 100000;
+    phases.max_warmup_node_cycles = 1000000;
+  }
+  return phases;
+}
+
+inline sim::SaturationSearchOptions bench_saturation_options() {
+  sim::SaturationSearchOptions opt;
+  if (fast_mode()) {
+    opt.warmup_node_cycles = 25000;
+    opt.measure_node_cycles = 25000;
+    opt.resolution = 0.01;
+  }
+  return opt;
+}
+
+/// The per-configuration anchors the paper's methodology derives before
+/// running a sweep: measured saturation, λ_max = 0.9·λ_sat, and the DMSD
+/// target = the No-DVFS delay at λ_node = λ_max (which equals RMSD's
+/// plateau delay, per Fig. 4).
+struct Anchors {
+  double lambda_sat = 0.0;
+  double lambda_max = 0.0;
+  double target_delay_ns = 0.0;
+};
+
+inline Anchors compute_anchors(sim::ExperimentConfig base) {
+  Anchors a;
+  a.lambda_sat = sim::find_saturation_rate(base, bench_saturation_options());
+  a.lambda_max = 0.9 * a.lambda_sat;
+
+  sim::ExperimentConfig probe = base;
+  probe.lambda = a.lambda_max;
+  probe.policy.policy = sim::Policy::NoDvfs;
+  probe.phases = bench_phases();
+  a.target_delay_ns = sim::run_synthetic_experiment(probe).avg_delay_ns;
+  return a;
+}
+
+/// Load sweep as fractions of the saturation rate, mirroring the paper's
+/// x-axes that run from near zero to just below saturation.
+inline std::vector<double> lambda_sweep(double lambda_sat, int points) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    out.push_back(lambda_sat * 0.95 * static_cast<double>(i) / points);
+  }
+  return out;
+}
+
+inline int sweep_points(int full, int fast) { return fast_mode() ? fast : full; }
+
+/// Control period used by all benches (see paper_default_config note).
+inline std::uint64_t bench_control_period() { return fast_mode() ? 5000 : 10000; }
+
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "=================================================================\n"
+            << figure << " — " << what << "\n"
+            << "Casu & Giaccone, \"Rate-based vs Delay-based Control for DVFS in "
+               "NoC\", DATE 2015\n"
+            << (fast_mode() ? "[FAST mode: shortened sweeps]\n" : "")
+            << "=================================================================\n";
+}
+
+inline sim::ExperimentConfig paper_default_config() {
+  sim::ExperimentConfig cfg;
+  cfg.network.width = 5;
+  cfg.network.height = 5;
+  cfg.network.num_vcs = 8;
+  cfg.network.vc_buffer_depth = 4;
+  cfg.packet_size = 20;
+  cfg.pattern = "uniform";
+  // The paper's control period is 10 000 cycles of the fastest clock. FAST
+  // mode halves it so the PI loop fits the same number of updates into the
+  // shortened settle budget (the paper's own ablation-D result: tracking
+  // quality is insensitive to the period in this range).
+  cfg.control_period = fast_mode() ? 5000 : 10000;
+  cfg.phases = bench_phases();
+  return cfg;
+}
+
+inline sim::RunResult run_policy(const sim::ExperimentConfig& base, sim::Policy policy,
+                                 double lambda, const Anchors& anchors) {
+  sim::ExperimentConfig cfg = base;
+  cfg.lambda = lambda;
+  cfg.policy.policy = policy;
+  cfg.policy.lambda_max = anchors.lambda_max;
+  cfg.policy.target_delay_ns = anchors.target_delay_ns;
+  cfg.phases = bench_phases();
+  return sim::run_synthetic_experiment(cfg);
+}
+
+}  // namespace nocdvfs::bench

@@ -1,0 +1,126 @@
+/// \file microbench_core.cpp
+/// google-benchmark microbenchmarks of the simulator's hot paths: the
+/// per-cycle cost of a network step across mesh sizes and loads, router
+/// pipeline stages, allocator/arbiter primitives, RNG, and VF lookups.
+/// These guard the simulation throughput the figure benches depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "noc/allocator.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/network.hpp"
+#include "power/energy_model.hpp"
+#include "power/vf_curve.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace {
+
+using namespace nocdvfs;
+
+void BM_RngRaw(benchmark::State& state) {
+  common::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.raw());
+}
+BENCHMARK(BM_RngRaw);
+
+void BM_RngBernoulli(benchmark::State& state) {
+  common::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.bernoulli(0.1));
+}
+BENCHMARK(BM_RngBernoulli);
+
+void BM_RoundRobinArbiter(benchmark::State& state) {
+  noc::RoundRobinArbiter arb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < arb.size(); i += 2) arb.add_request(i);
+    benchmark::DoNotOptimize(arb.arbitrate());
+  }
+}
+BENCHMARK(BM_RoundRobinArbiter)->Arg(5)->Arg(8)->Arg(16);
+
+void BM_SeparableAllocator(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  noc::SeparableAllocator alloc(n, n);
+  for (auto _ : state) {
+    for (int a = 0; a < n; a += 2) {
+      alloc.add_request(a, (a + 1) % n);
+      alloc.add_request(a, (a + 3) % n);
+    }
+    benchmark::DoNotOptimize(alloc.allocate().size());
+  }
+}
+BENCHMARK(BM_SeparableAllocator)->Arg(8)->Arg(40);
+
+void BM_PatternPick(benchmark::State& state) {
+  noc::MeshTopology topo(8, 8);
+  auto pattern = traffic::TrafficPattern::create("uniform", topo);
+  common::Rng rng(1);
+  noc::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern->pick(src, rng));
+    src = (src + 1) % 64;
+  }
+}
+BENCHMARK(BM_PatternPick);
+
+void BM_VfCurveLookup(benchmark::State& state) {
+  const power::VfCurve curve = power::VfCurve::fdsoi28();
+  double f = 333e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.voltage_for(f));
+    f += 1e6;
+    if (f > 1e9) f = 333e6;
+  }
+}
+BENCHMARK(BM_VfCurveLookup);
+
+void BM_EnergyEventBatch(benchmark::State& state) {
+  const power::EnergyModel model(power::EnergyModel::reference_geometry());
+  power::ActivityCounters a;
+  a.buffer_writes = 1000;
+  a.buffer_reads = 1000;
+  a.crossbar_traversals = 1000;
+  a.link_flit_hops = 1200;
+  for (auto _ : state) benchmark::DoNotOptimize(model.event_energy_j(a, 0.75));
+}
+BENCHMARK(BM_EnergyEventBatch);
+
+/// Full network cycle cost vs mesh size at a moderate load. The counter
+/// `items_processed` makes the per-cycle cost directly readable.
+void BM_NetworkStep(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const double lambda = static_cast<double>(state.range(1)) / 100.0;
+  noc::NetworkConfig cfg;
+  cfg.width = k;
+  cfg.height = k;
+  noc::Network net(cfg);
+  noc::MeshTopology topo(k, k);
+  traffic::SyntheticTrafficParams params;
+  params.lambda = lambda;
+  params.packet_size = 20;
+  traffic::SyntheticTraffic gen(topo, params);
+  // Warm the network into steady state.
+  for (int i = 0; i < 2000; ++i) {
+    gen.node_tick(net.cycle() * 1000, net.cycle(), net);
+    net.step((net.cycle() + 1) * 1000);
+    net.delivered().clear();
+  }
+  for (auto _ : state) {
+    gen.node_tick(net.cycle() * 1000, net.cycle(), net);
+    net.step((net.cycle() + 1) * 1000);
+    net.delivered().clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStep)
+    ->Args({5, 5})
+    ->Args({5, 20})
+    ->Args({5, 35})
+    ->Args({8, 20})
+    ->Args({4, 20});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/// \file multimedia_pipeline.cpp
+/// Runs a multimedia encoder workload (the paper's Sec. VI scenario) on
+/// the NoC under a chosen DVFS policy and reports the delay/power outcome
+/// per application speed step — the view a system designer would use to
+/// pick a policy for a streaming SoC.
+///
+///   $ ./multimedia_pipeline app=vce policy=dmsd speeds=0.25,0.5,0.75,1.0
+///
+/// The rate matrix is calibrated so that speed 1.0 sits at 0.9× the
+/// measured saturation of the mapped workload (see DESIGN.md).
+
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/saturation.hpp"
+
+using namespace nocdvfs;
+
+int main(int argc, char** argv) {
+  common::Config c;
+  c.declare("app", "h264", "h264 (4x4 mesh) or vce (5x5 mesh)");
+  c.declare("policy", "all", "nodvfs|rmsd|dmsd|all");
+  c.declare("speeds", "0.25,0.5,0.75,1.0", "application speeds relative to 75 fps");
+  c.declare_int("packet", 20, "flits per packet");
+  c.declare_int("warmup", 80000, "warmup node cycles");
+  c.declare_int("measure", 80000, "measurement node cycles");
+  c.declare_bool("help", false, "print declared keys and exit");
+  try {
+    c.parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (c.get_bool("help")) {
+    for (const auto& line : c.summary_lines()) std::cout << line << '\n';
+    return 0;
+  }
+
+  sim::AppExperimentConfig base;
+  base.app = c.get_string("app");
+  base.packet_size = static_cast<int>(c.get_int("packet"));
+  base.phases.warmup_node_cycles = static_cast<std::uint64_t>(c.get_int("warmup"));
+  base.phases.measure_node_cycles = static_cast<std::uint64_t>(c.get_int("measure"));
+
+  const apps::TaskGraph graph = sim::app_graph(base.app);
+  std::cout << "app '" << graph.name() << "': " << graph.nodes().size() << " blocks on "
+            << graph.mesh_width() << "x" << graph.mesh_height() << " mesh, "
+            << common::Table::fmt(graph.total_packets_per_frame(), 0)
+            << " packets/frame, mean mapped hop distance "
+            << common::Table::fmt(graph.mean_hops(), 2) << "\n";
+
+  // Calibrate: speed 1.0 = 0.9 × measured saturation of this workload.
+  base.traffic_scale = 0.35 / sim::app_mean_lambda(base);
+  sim::SaturationSearchOptions opt;
+  opt.hi = 2.0;
+  opt.warmup_node_cycles = 25000;
+  opt.measure_node_cycles = 25000;
+  const double sat_speed = sim::find_app_saturation_speed(base, opt);
+  base.traffic_scale *= 0.9 * sat_speed;
+  const double lambda_max = sim::app_mean_lambda(base);
+
+  sim::AppExperimentConfig probe = base;
+  probe.speed = 1.0;
+  probe.policy.policy = sim::Policy::NoDvfs;
+  const double target = sim::run_app_experiment(probe).avg_delay_ns;
+  std::cout << "calibrated: lambda_max = " << common::Table::fmt(lambda_max, 3)
+            << ", DMSD target = " << common::Table::fmt(target, 1) << " ns\n\n";
+
+  std::vector<sim::Policy> policies;
+  if (c.get_string("policy") == "all") {
+    policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd, sim::Policy::Dmsd};
+  } else {
+    policies = {sim::policy_from_string(c.get_string("policy"))};
+  }
+
+  common::Table table({"speed", "policy", "delay[ns]", "p99[ns]", "freq[GHz]", "power[mW]",
+                       "packets"});
+  for (const double speed : c.get_double_list("speeds")) {
+    for (const sim::Policy policy : policies) {
+      sim::AppExperimentConfig cfg = base;
+      cfg.speed = speed;
+      cfg.policy.policy = policy;
+      cfg.policy.lambda_max = lambda_max;
+      cfg.policy.target_delay_ns = target;
+      const sim::RunResult r = sim::run_app_experiment(cfg);
+      table.add_row({common::Table::fmt(speed, 2), sim::to_string(policy),
+                     common::Table::fmt(r.avg_delay_ns, 1),
+                     common::Table::fmt(r.p99_delay_ns, 1),
+                     common::Table::fmt(r.avg_frequency_ghz(), 3),
+                     common::Table::fmt(r.power_mw(), 1),
+                     std::to_string(r.packets_delivered)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "apps/app_graphs.hpp"
+
+namespace nocdvfs::apps {
+
+namespace {
+
+TaskEdge edge(int src, int dst, double weight) { return TaskEdge{src, dst, weight}; }
+
+}  // namespace
+
+TaskGraph h264_encoder() {
+  // Task indices / placements. Layout places the heavy pipeline
+  // (video_in → yuv → padding → ME → MC → DCT → Q) on adjacent nodes; the
+  // reconstruction loop (IQ → IDCT → deblock → sample_hold → predictor)
+  // occupies the lower rows. Node (3,0) stays unused (15 blocks, 16 nodes).
+  std::vector<TaskNode> nodes = {
+      {"video_in", {0, 3}},        // 0
+      {"yuv_generator", {1, 3}},   // 1
+      {"padding_mv", {2, 3}},      // 2
+      {"motion_estimation", {3, 3}},  // 3
+      {"chroma_resampler", {0, 2}},   // 4
+      {"motion_compensation", {1, 2}},  // 5
+      {"dct", {2, 2}},             // 6
+      {"quantization", {3, 2}},    // 7
+      {"predictor", {0, 1}},       // 8
+      {"sample_hold", {1, 1}},     // 9
+      {"iq", {2, 1}},              // 10
+      {"entropy_encoder", {3, 1}}, // 11
+      {"deblocking_filter", {0, 0}},  // 12
+      {"idct", {1, 0}},            // 13
+      {"stream_out", {2, 0}},      // 14
+  };
+  // 19 edges; weights are the packets/frame figures from Fig. 9(a).
+  std::vector<TaskEdge> edges = {
+      edge(0, 1, 420),    // video_in -> yuv_generator
+      edge(1, 2, 840),    // yuv_generator -> padding_mv
+      edge(2, 3, 280),    // padding_mv -> motion_estimation
+      edge(1, 5, 280),    // yuv_generator -> motion_compensation (current MB)
+      edge(3, 5, 280),    // motion_estimation -> motion_compensation (MVs)
+      edge(5, 6, 560),    // motion_compensation -> dct (residual)
+      edge(1, 4, 140),    // yuv_generator -> chroma_resampler
+      edge(4, 6, 420),    // chroma_resampler -> dct (chroma blocks)
+      edge(6, 7, 210),    // dct -> quantization
+      edge(7, 10, 66),    // quantization -> iq (reconstruction branch)
+      edge(10, 13, 66),   // iq -> idct
+      edge(13, 12, 24),   // idct -> deblocking_filter
+      edge(12, 9, 60),    // deblocking_filter -> sample_hold (ref frame)
+      edge(9, 8, 24),     // sample_hold -> predictor
+      edge(8, 3, 221),    // predictor -> motion_estimation (ref window)
+      edge(7, 11, 228),   // quantization -> entropy_encoder
+      edge(11, 14, 228),  // entropy_encoder -> stream_out
+      edge(8, 5, 3),      // predictor -> motion_compensation (intra hints)
+      edge(12, 8, 3),     // deblocking_filter -> predictor (loop config)
+  };
+  return TaskGraph("h264", 4, 4, std::move(nodes), std::move(edges));
+}
+
+TaskGraph video_conference_encoder() {
+  // 25 blocks on a 5×5 mesh: the H.264-style video pipeline (top rows),
+  // the audio coding chain (bottom-left) and the OFDM transmission chain
+  // (bottom-right), converging on the stream mux and modulator.
+  std::vector<TaskNode> nodes = {
+      {"video_in_memory", {0, 4}},    // 0
+      {"yuv_generator", {1, 4}},      // 1
+      {"padding_mv", {2, 4}},         // 2
+      {"motion_estimation", {3, 4}},  // 3
+      {"memory", {4, 4}},             // 4
+      {"chroma_resampler", {0, 3}},   // 5
+      {"motion_compensation", {1, 3}},  // 6
+      {"dct", {2, 3}},                // 7
+      {"quantization", {3, 3}},       // 8
+      {"sram", {4, 3}},               // 9
+      {"predictor", {0, 2}},          // 10
+      {"sample_hold", {1, 2}},        // 11
+      {"iq", {2, 2}},                 // 12
+      {"entropy_encoder", {3, 2}},    // 13
+      {"stream_mux", {4, 2}},         // 14
+      {"deblocking_filter", {0, 1}},  // 15
+      {"idct", {1, 1}},               // 16
+      {"audio_in", {2, 1}},           // 17
+      {"filter_bank", {3, 1}},        // 18
+      {"modulator_ofdm", {4, 1}},     // 19
+      {"mdct", {0, 0}},               // 20
+      {"audio_quantizer", {1, 0}},    // 21
+      {"huffman_encoding", {2, 0}},   // 22
+      {"fft", {3, 0}},                // 23
+      {"ifft", {4, 0}},               // 24
+  };
+  // 31 edges; weights are the packets/frame figures from Fig. 9(b).
+  std::vector<TaskEdge> edges = {
+      // video pipeline (heavy)
+      edge(0, 1, 4200),   // video_in_memory -> yuv_generator
+      edge(1, 2, 8400),   // yuv_generator -> padding_mv
+      edge(2, 3, 2800),   // padding_mv -> motion_estimation
+      edge(1, 6, 2800),   // yuv_generator -> motion_compensation
+      edge(3, 6, 5600),   // motion_estimation -> motion_compensation
+      edge(6, 7, 2800),   // motion_compensation -> dct
+      edge(1, 5, 1400),   // yuv_generator -> chroma_resampler
+      edge(5, 7, 2280),   // chroma_resampler -> dct
+      edge(7, 8, 4200),   // dct -> quantization
+      edge(8, 12, 2280),  // quantization -> iq
+      edge(12, 16, 2210), // iq -> idct
+      edge(16, 15, 240),  // idct -> deblocking_filter
+      edge(15, 11, 240),  // deblocking_filter -> sample_hold
+      edge(11, 10, 660),  // sample_hold -> predictor
+      edge(10, 3, 660),   // predictor -> motion_estimation
+      edge(8, 13, 4200),  // quantization -> entropy_encoder
+      edge(13, 14, 2100), // entropy_encoder -> stream_mux
+      edge(4, 3, 2000),   // memory -> motion_estimation (ref frames)
+      edge(9, 14, 640),   // sram -> stream_mux (headers/buffering)
+      edge(10, 6, 30),    // predictor -> motion_compensation
+      edge(15, 10, 30),   // deblocking_filter -> predictor
+      // audio chain (light)
+      edge(17, 18, 600),  // audio_in -> filter_bank
+      edge(18, 20, 640),  // filter_bank -> mdct
+      edge(20, 21, 90),   // mdct -> audio_quantizer
+      edge(21, 22, 90),   // audio_quantizer -> huffman_encoding
+      edge(22, 14, 90),   // huffman_encoding -> stream_mux
+      // OFDM transmission chain
+      edge(14, 23, 620),  // stream_mux -> fft
+      edge(23, 24, 90),   // fft -> ifft
+      edge(24, 19, 30),   // ifft -> modulator_ofdm
+      edge(14, 19, 20),   // stream_mux -> modulator_ofdm (control)
+      edge(19, 9, 20),    // modulator_ofdm -> sram (tx feedback)
+  };
+  return TaskGraph("vce", 5, 5, std::move(nodes), std::move(edges));
+}
+
+}  // namespace nocdvfs::apps

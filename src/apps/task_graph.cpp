@@ -1,0 +1,102 @@
+#include "apps/task_graph.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace nocdvfs::apps {
+
+TaskGraph::TaskGraph(std::string name, int mesh_width, int mesh_height,
+                     std::vector<TaskNode> nodes, std::vector<TaskEdge> edges)
+    : name_(std::move(name)),
+      width_(mesh_width),
+      height_(mesh_height),
+      nodes_(std::move(nodes)),
+      edges_(std::move(edges)) {
+  const noc::MeshTopology topo(mesh_width, mesh_height);
+  if (nodes_.empty()) throw std::invalid_argument("TaskGraph: no tasks");
+  if (static_cast<int>(nodes_.size()) > topo.num_nodes()) {
+    throw std::invalid_argument("TaskGraph: more tasks than mesh nodes");
+  }
+  std::set<std::pair<int, int>> used;
+  std::set<std::string> names;
+  for (const auto& node : nodes_) {
+    if (!topo.valid(node.placement)) {
+      throw std::invalid_argument("TaskGraph: task '" + node.name + "' placed off-mesh");
+    }
+    if (!used.insert({node.placement.x, node.placement.y}).second) {
+      throw std::invalid_argument("TaskGraph: two tasks share a mesh node");
+    }
+    if (node.name.empty() || !names.insert(node.name).second) {
+      throw std::invalid_argument("TaskGraph: task names must be unique and non-empty");
+    }
+  }
+  for (const auto& e : edges_) {
+    const auto task_count = static_cast<int>(nodes_.size());
+    if (e.src_task < 0 || e.src_task >= task_count || e.dst_task < 0 ||
+        e.dst_task >= task_count) {
+      throw std::invalid_argument("TaskGraph: edge references unknown task");
+    }
+    if (e.src_task == e.dst_task) {
+      throw std::invalid_argument("TaskGraph: self-loop edge");
+    }
+    if (!(e.packets_per_frame > 0.0)) {
+      throw std::invalid_argument("TaskGraph: edge weight must be positive");
+    }
+  }
+}
+
+double TaskGraph::total_packets_per_frame() const noexcept {
+  double total = 0.0;
+  for (const auto& e : edges_) total += e.packets_per_frame;
+  return total;
+}
+
+double TaskGraph::mean_hops() const {
+  const noc::MeshTopology topo(width_, height_);
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& e : edges_) {
+    const int hops = noc::MeshTopology::manhattan(
+        nodes_[static_cast<std::size_t>(e.src_task)].placement,
+        nodes_[static_cast<std::size_t>(e.dst_task)].placement);
+    weighted += e.packets_per_frame * hops;
+    total += e.packets_per_frame;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+noc::NodeId TaskGraph::placement_node(int task) const {
+  const noc::MeshTopology topo(width_, height_);
+  return topo.node_at(nodes_.at(static_cast<std::size_t>(task)).placement);
+}
+
+std::vector<std::vector<double>> TaskGraph::rate_matrix_pps(double frames_per_second) const {
+  if (!(frames_per_second >= 0.0)) {
+    throw std::invalid_argument("TaskGraph::rate_matrix_pps: negative frame rate");
+  }
+  const noc::MeshTopology topo(width_, height_);
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  std::vector<std::vector<double>> rates(n, std::vector<double>(n, 0.0));
+  for (const auto& e : edges_) {
+    const auto s = static_cast<std::size_t>(placement_node(e.src_task));
+    const auto d = static_cast<std::size_t>(placement_node(e.dst_task));
+    rates[s][d] += e.packets_per_frame * frames_per_second;
+  }
+  return rates;
+}
+
+double TaskGraph::mean_lambda(double frames_per_second, int packet_size,
+                              double f_node_hz) const {
+  const noc::MeshTopology topo(width_, height_);
+  const double packets_per_s = total_packets_per_frame() * frames_per_second;
+  return packets_per_s * packet_size / (f_node_hz * topo.num_nodes());
+}
+
+int TaskGraph::task_index(const std::string& task_name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == task_name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("TaskGraph: no task named '" + task_name + "'");
+}
+
+}  // namespace nocdvfs::apps

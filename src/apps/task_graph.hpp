@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file task_graph.hpp
+/// Application communication graphs with mesh mapping (the paper's Fig. 9
+/// representation): vertices are computation blocks placed on mesh nodes,
+/// directed edges carry packets-per-frame weights. A TaskGraph converts to
+/// the packet-rate matrix that MatrixTraffic consumes.
+
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+
+namespace nocdvfs::apps {
+
+struct TaskNode {
+  std::string name;
+  noc::Coord placement;  ///< mesh coordinate this block is mapped onto
+};
+
+struct TaskEdge {
+  int src_task = -1;
+  int dst_task = -1;
+  double packets_per_frame = 0.0;
+};
+
+class TaskGraph {
+ public:
+  /// Validates on construction: placements inside the mesh and unique,
+  /// edges reference existing distinct tasks with positive weight.
+  TaskGraph(std::string name, int mesh_width, int mesh_height, std::vector<TaskNode> nodes,
+            std::vector<TaskEdge> edges);
+
+  const std::string& name() const noexcept { return name_; }
+  int mesh_width() const noexcept { return width_; }
+  int mesh_height() const noexcept { return height_; }
+  const std::vector<TaskNode>& nodes() const noexcept { return nodes_; }
+  const std::vector<TaskEdge>& edges() const noexcept { return edges_; }
+
+  double total_packets_per_frame() const noexcept;
+
+  /// Traffic-weighted mean hop distance of the mapping.
+  double mean_hops() const;
+
+  /// Mesh node id hosting task `t`.
+  noc::NodeId placement_node(int task) const;
+
+  /// Packet-rate matrix [src_node][dst_node] in packets per second when the
+  /// application runs at `frames_per_second`.
+  std::vector<std::vector<double>> rate_matrix_pps(double frames_per_second) const;
+
+  /// Mean offered load in flits per node cycle per node at the given frame
+  /// rate, packet size and node frequency — used to express application
+  /// speed on the same axis as the synthetic experiments.
+  double mean_lambda(double frames_per_second, int packet_size, double f_node_hz) const;
+
+  /// Task index by name; throws std::out_of_range if absent.
+  int task_index(const std::string& task_name) const;
+
+ private:
+  std::string name_;
+  int width_;
+  int height_;
+  std::vector<TaskNode> nodes_;
+  std::vector<TaskEdge> edges_;
+};
+
+}  // namespace nocdvfs::apps

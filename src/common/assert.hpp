@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file assert.hpp
+/// Runtime invariant checking for the simulator.
+///
+/// `NOCDVFS_ASSERT(cond, msg)` throws `nocdvfs::common::InvariantViolation`
+/// when the condition fails and asserts are enabled (default in all build
+/// types via the NOCDVFS_ENABLE_ASSERTS option). Using an exception instead
+/// of `abort()` lets the failure-injection tests observe violated invariants
+/// without killing the test binary.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nocdvfs::common {
+
+/// Thrown when a simulator invariant (credit conservation, buffer bounds,
+/// VC state legality, ...) is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace nocdvfs::common
+
+#if defined(NOCDVFS_ENABLE_ASSERTS)
+#define NOCDVFS_ASSERT(cond, msg)                                                   \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::nocdvfs::common::detail::raise_invariant(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                               \
+  } while (false)
+#else
+#define NOCDVFS_ASSERT(cond, msg) \
+  do {                            \
+  } while (false)
+#endif

@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace nocdvfs::common {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::clog;
+  os << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace nocdvfs::common

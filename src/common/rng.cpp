@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace nocdvfs::common {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  // Seed via SplitMix64 per the xoshiro authors' recommendation: avoids the
+  // all-zero state and decorrelates nearby integer seeds.
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+                                            0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the stream index through SplitMix64 so that streams 0,1,2,... of the
+  // same master seed land far apart in seed space.
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+  return Rng(sm.next());
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's method: multiply-high with rejection to remove modulo bias.
+  std::uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; uniform01() < 1 so the log argument is > 0.
+  const double u = 1.0 - uniform01();
+  return -mean * std::log(u);
+}
+
+}  // namespace nocdvfs::common

@@ -1,0 +1,9 @@
+#include "dvfs/controller.hpp"
+
+namespace nocdvfs::dvfs {
+
+common::Hertz NoDvfsController::update(const ControlContext& ctx, const WindowMeasurements&) {
+  return ctx.f_max;
+}
+
+}  // namespace nocdvfs::dvfs

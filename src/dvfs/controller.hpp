@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file controller.hpp
+/// The DVFS policy interface. A controller is invoked once per control
+/// period (the paper uses 10 000 cycles of the fastest clock) with the
+/// measurements gathered over the elapsed window and returns the frequency
+/// it wants for the next window; the DvfsManager clamps the request into
+/// the technology's tuning range and derives the supply voltage.
+///
+/// Both of the paper's measurement channels are always populated — the
+/// transmitting nodes' injection-rate reports (RMSD, Fig. 1) and the
+/// receiving nodes' packet-delay reports (DMSD, Fig. 3) — so policies can
+/// be swapped without touching the measurement plumbing.
+
+#include <memory>
+
+#include "common/units.hpp"
+
+namespace nocdvfs::dvfs {
+
+/// Clock-domain facts the policy may rely on.
+struct ControlContext {
+  common::Picoseconds now = 0;
+  common::Hertz f_node = 1e9;    ///< node (injection) clock, fixed
+  common::Hertz f_min = 333e6;   ///< bottom of the NoC tuning range
+  common::Hertz f_max = 1e9;     ///< top of the NoC tuning range
+  common::Hertz f_current = 1e9; ///< NoC clock during the elapsed window
+};
+
+/// Measurements aggregated over one control window.
+struct WindowMeasurements {
+  /// Offered load reported by the transmitting nodes: flits generated per
+  /// node clock cycle per node (the paper's λ_node).
+  double lambda_node_offered = 0.0;
+  /// Load as the network saw it: flits accepted into routers per NoC clock
+  /// cycle per node (the paper's λ_noc); drives the closed-loop RMSD
+  /// variant.
+  double lambda_noc_injected = 0.0;
+  /// Mean end-to-end packet delay (creation → ejection) reported by the
+  /// receiving nodes, in nanoseconds. Only meaningful if packets > 0.
+  double avg_delay_ns = 0.0;
+  std::uint64_t packets_delivered = 0;
+  /// Mean router-buffer occupancy over the window as a fraction of
+  /// capacity — the sensing channel of the queue-based policy (Sec. II
+  /// related work).
+  double avg_buffer_occupancy = 0.0;
+  std::uint64_t window_node_cycles = 0;
+  std::uint64_t window_noc_cycles = 0;
+
+  bool has_delay_sample() const noexcept { return packets_delivered > 0; }
+};
+
+class DvfsController {
+ public:
+  virtual ~DvfsController() = default;
+
+  /// Frequency requested for the next window (unclamped; the manager
+  /// applies the VF-curve range and optional level quantization).
+  virtual common::Hertz update(const ControlContext& ctx, const WindowMeasurements& m) = 0;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Restore initial controller state (PI integrator, etc.).
+  virtual void reset() {}
+};
+
+/// Baseline: the NoC always runs at the top of the range (no DVFS).
+class NoDvfsController final : public DvfsController {
+ public:
+  common::Hertz update(const ControlContext& ctx, const WindowMeasurements&) override;
+  const char* name() const noexcept override { return "nodvfs"; }
+};
+
+}  // namespace nocdvfs::dvfs

@@ -1,0 +1,25 @@
+#include "dvfs/rmsd.hpp"
+
+#include <stdexcept>
+
+namespace nocdvfs::dvfs {
+
+RmsdController::RmsdController(const RmsdConfig& cfg) : cfg_(cfg) {
+  if (!(cfg.lambda_max > 0.0) || cfg.lambda_max > 1.0) {
+    throw std::invalid_argument("RmsdController: lambda_max must be in (0, 1]");
+  }
+}
+
+common::Hertz RmsdController::update(const ControlContext& ctx, const WindowMeasurements& m) {
+  if (cfg_.mode == RmsdConfig::Mode::OpenLoop) {
+    // Eq. (2): scale the node clock by the measured offered rate. A silent
+    // window (no offered traffic) requests the bottom of the range.
+    return ctx.f_node * (m.lambda_node_offered / cfg_.lambda_max);
+  }
+  // Closed loop: λ_noc below target means the network is too fast —
+  // multiplicative steering towards λ_noc = λ_max.
+  if (m.lambda_noc_injected <= 0.0) return ctx.f_min;
+  return ctx.f_current * (m.lambda_noc_injected / cfg_.lambda_max);
+}
+
+}  // namespace nocdvfs::dvfs

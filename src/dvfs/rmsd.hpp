@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file rmsd.hpp
+/// Rate-based Max Slow Down (the paper's Sec. III).
+///
+/// Open-loop mode implements Eq. (2) directly:
+///
+///     F_noc = F_node · λ_node / λ_max
+///
+/// using the transmitting nodes' offered-rate reports, so the network
+/// always operates at λ_noc = λ_max (just below saturation). Frequencies
+/// outside [F_min, F_max] are clipped by the manager, producing the λ_min
+/// knee responsible for the non-monotonic delay curve of Fig. 2(b).
+///
+/// Closed-loop mode is the Liang–Jantsch-style implementation the paper
+/// cites as one realization of RMSD: a multiplicative update that steers
+/// the *measured* network-relative load λ_noc towards λ_max:
+///
+///     F_{n+1} = F_n · (λ_noc,measured / λ_max)
+///
+/// Both converge to the same fixed point; the ablation bench contrasts
+/// their transients.
+
+#include "dvfs/controller.hpp"
+
+namespace nocdvfs::dvfs {
+
+struct RmsdConfig {
+  /// Target network load in flits per NoC cycle per node; the paper sets it
+  /// 10% below the measured saturation rate.
+  double lambda_max = 0.378;
+
+  enum class Mode { OpenLoop, ClosedLoop };
+  Mode mode = Mode::OpenLoop;
+};
+
+class RmsdController final : public DvfsController {
+ public:
+  explicit RmsdController(const RmsdConfig& cfg);
+
+  common::Hertz update(const ControlContext& ctx, const WindowMeasurements& m) override;
+  const char* name() const noexcept override {
+    return cfg_.mode == RmsdConfig::Mode::OpenLoop ? "rmsd" : "rmsd-closed";
+  }
+
+  const RmsdConfig& config() const noexcept { return cfg_; }
+
+ private:
+  RmsdConfig cfg_;
+};
+
+}  // namespace nocdvfs::dvfs

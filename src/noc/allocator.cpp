@@ -1,0 +1,89 @@
+#include "noc/allocator.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace nocdvfs::noc {
+
+SeparableAllocator::SeparableAllocator(int num_agents, int num_resources)
+    : num_agents_(num_agents), num_resources_(num_resources) {
+  if (num_agents <= 0 || num_resources <= 0) {
+    throw std::invalid_argument("SeparableAllocator: sizes must be positive");
+  }
+  requests_.resize(static_cast<std::size_t>(num_agents));
+  agent_ptr_.assign(static_cast<std::size_t>(num_agents), 0);
+  resource_ptr_.assign(static_cast<std::size_t>(num_resources), 0);
+  resource_winner_.assign(static_cast<std::size_t>(num_resources), -1);
+  active_agents_.reserve(static_cast<std::size_t>(num_agents));
+  resource_claimants_.reserve(static_cast<std::size_t>(num_resources));
+}
+
+void SeparableAllocator::add_request(int agent, int resource) {
+  NOCDVFS_ASSERT(agent >= 0 && agent < num_agents_, "allocator agent out of range");
+  NOCDVFS_ASSERT(resource >= 0 && resource < num_resources_, "allocator resource out of range");
+  if (requests_[static_cast<std::size_t>(agent)].empty()) active_agents_.push_back(agent);
+  requests_[static_cast<std::size_t>(agent)].push_back(resource);
+}
+
+const std::vector<std::pair<int, int>>& SeparableAllocator::allocate() {
+  grants_.clear();
+
+  // Stage 1 (input arbitration): each agent picks the requested resource
+  // closest at-or-after its rotating pointer.
+  // Stage 2 (output arbitration): each contended resource picks the agent
+  // closest at-or-after its rotating pointer among stage-1 claimants.
+  for (int agent : active_agents_) {
+    const auto& reqs = requests_[static_cast<std::size_t>(agent)];
+    NOCDVFS_ASSERT(!reqs.empty(), "active agent without requests");
+    const int ptr = agent_ptr_[static_cast<std::size_t>(agent)];
+    int best = -1;
+    int best_dist = num_resources_;
+    for (int r : reqs) {
+      const int dist = (r - ptr + num_resources_) % num_resources_;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = r;
+      }
+    }
+    // Record the claim on the chosen resource.
+    const auto rbest = static_cast<std::size_t>(best);
+    if (resource_winner_[rbest] == -1) {
+      resource_winner_[rbest] = agent;
+      resource_claimants_.push_back(best);
+    } else {
+      // Contention: keep the agent nearest the resource's rotating pointer.
+      const int incumbent = resource_winner_[rbest];
+      const int rptr = resource_ptr_[rbest];
+      const int d_new = (agent - rptr + num_agents_) % num_agents_;
+      const int d_old = (incumbent - rptr + num_agents_) % num_agents_;
+      if (d_new < d_old) resource_winner_[rbest] = agent;
+    }
+  }
+
+  for (int resource : resource_claimants_) {
+    const int agent = resource_winner_[static_cast<std::size_t>(resource)];
+    NOCDVFS_ASSERT(agent >= 0, "claimed resource without winner");
+    grants_.emplace_back(agent, resource);
+    // iSLIP pointer update: only on grant, move past the served party.
+    agent_ptr_[static_cast<std::size_t>(agent)] = (resource + 1) % num_resources_;
+    resource_ptr_[static_cast<std::size_t>(resource)] = (agent + 1) % num_agents_;
+    resource_winner_[static_cast<std::size_t>(resource)] = -1;
+  }
+  resource_claimants_.clear();
+
+  for (int agent : active_agents_) requests_[static_cast<std::size_t>(agent)].clear();
+  active_agents_.clear();
+  return grants_;
+}
+
+void SeparableAllocator::clear_requests() {
+  for (int agent : active_agents_) requests_[static_cast<std::size_t>(agent)].clear();
+  active_agents_.clear();
+  for (int resource : resource_claimants_) {
+    resource_winner_[static_cast<std::size_t>(resource)] = -1;
+  }
+  resource_claimants_.clear();
+}
+
+}  // namespace nocdvfs::noc

@@ -1,0 +1,113 @@
+#include "noc/arbiter.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace nocdvfs::noc {
+
+std::unique_ptr<Arbiter> Arbiter::create(const std::string& kind, int size) {
+  if (kind == "roundrobin") return std::make_unique<RoundRobinArbiter>(size);
+  if (kind == "matrix") return std::make_unique<MatrixArbiter>(size);
+  throw std::invalid_argument("Arbiter::create: unknown kind '" + kind + "'");
+}
+
+RoundRobinArbiter::RoundRobinArbiter(int size) {
+  if (size <= 0) throw std::invalid_argument("RoundRobinArbiter: size must be positive");
+  requests_.assign(static_cast<std::size_t>(size), 0);
+  pending_.reserve(static_cast<std::size_t>(size));
+}
+
+void RoundRobinArbiter::add_request(int input) {
+  NOCDVFS_ASSERT(input >= 0 && input < size(), "arbiter request out of range");
+  if (!requests_[static_cast<std::size_t>(input)]) {
+    requests_[static_cast<std::size_t>(input)] = 1;
+    pending_.push_back(input);
+  }
+}
+
+int RoundRobinArbiter::arbitrate() {
+  int winner = -1;
+  if (!pending_.empty()) {
+    const int n = size();
+    // Scan from the priority pointer; with the tiny sizes used here (<= a
+    // few dozen) a linear scan beats fancier structures.
+    for (int off = 0; off < n; ++off) {
+      const int idx = (next_ + off) % n;
+      if (requests_[static_cast<std::size_t>(idx)]) {
+        winner = idx;
+        break;
+      }
+    }
+    NOCDVFS_ASSERT(winner >= 0, "round-robin arbiter lost its requests");
+    next_ = (winner + 1) % n;
+  }
+  clear_requests();
+  return winner;
+}
+
+void RoundRobinArbiter::clear_requests() {
+  for (int idx : pending_) requests_[static_cast<std::size_t>(idx)] = 0;
+  pending_.clear();
+}
+
+MatrixArbiter::MatrixArbiter(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("MatrixArbiter: size must be positive");
+  matrix_.assign(static_cast<std::size_t>(size) * size, 0);
+  // Initial priority: lower index beats higher index.
+  for (int a = 0; a < size; ++a) {
+    for (int b = a + 1; b < size; ++b) {
+      matrix_[static_cast<std::size_t>(a) * size + b] = 1;
+    }
+  }
+  requests_.assign(static_cast<std::size_t>(size), 0);
+  pending_.reserve(static_cast<std::size_t>(size));
+}
+
+void MatrixArbiter::add_request(int input) {
+  NOCDVFS_ASSERT(input >= 0 && input < size_, "arbiter request out of range");
+  if (!requests_[static_cast<std::size_t>(input)]) {
+    requests_[static_cast<std::size_t>(input)] = 1;
+    pending_.push_back(input);
+  }
+}
+
+bool MatrixArbiter::beats(int a, int b) const noexcept {
+  return matrix_[static_cast<std::size_t>(a) * size_ + b] != 0;
+}
+
+void MatrixArbiter::served(int winner) noexcept {
+  // Winner drops below everyone else: clear its row, set its column.
+  for (int b = 0; b < size_; ++b) {
+    matrix_[static_cast<std::size_t>(winner) * size_ + b] = 0;
+    matrix_[static_cast<std::size_t>(b) * size_ + winner] = 1;
+  }
+  matrix_[static_cast<std::size_t>(winner) * size_ + winner] = 0;
+}
+
+int MatrixArbiter::arbitrate() {
+  int winner = -1;
+  for (int a : pending_) {
+    bool wins = true;
+    for (int b : pending_) {
+      if (a != b && !beats(a, b)) {
+        wins = false;
+        break;
+      }
+    }
+    if (wins) {
+      winner = a;
+      break;
+    }
+  }
+  if (winner >= 0) served(winner);
+  clear_requests();
+  return winner;
+}
+
+void MatrixArbiter::clear_requests() {
+  for (int idx : pending_) requests_[static_cast<std::size_t>(idx)] = 0;
+  pending_.clear();
+}
+
+}  // namespace nocdvfs::noc

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file channel.hpp
+/// Pipelined point-to-point channels. A channel carries at most one item
+/// per cycle and delivers it `latency` cycles after it was pushed, modeling
+/// a registered link (flits) or the reverse credit wire.
+///
+/// Operation per network cycle: `tick()` first (advances the delay line),
+/// then the receiver may `pop()` the item due this cycle, then the sender
+/// may `push()` a new item. Pushing twice in a cycle, or failing to pop a
+/// due flit (credits guarantee buffer space), violates an invariant.
+
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "noc/types.hpp"
+
+namespace nocdvfs::noc {
+
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(int latency) : latency_(latency) {
+    if (latency < 1) throw std::invalid_argument("DelayLine: latency must be >= 1");
+    slots_.resize(static_cast<std::size_t>(latency) + 1);
+  }
+
+  int latency() const noexcept { return latency_; }
+
+  void tick() noexcept {
+    ++now_;
+    if (now_ == slots_.size()) now_ = 0;
+    pushed_this_cycle_ = false;
+  }
+
+  void push(T item) {
+    NOCDVFS_ASSERT(!pushed_this_cycle_, "DelayLine: two pushes in one cycle");
+    std::size_t slot = now_ + static_cast<std::size_t>(latency_);
+    if (slot >= slots_.size()) slot -= slots_.size();
+    NOCDVFS_ASSERT(!slots_[slot].has_value(), "DelayLine: overwriting undelivered item");
+    slots_[slot] = std::move(item);
+    pushed_this_cycle_ = true;
+  }
+
+  std::optional<T> pop() noexcept {
+    std::optional<T> out;
+    slots_[now_].swap(out);
+    return out;
+  }
+
+  /// Peek without consuming (tests/invariant checks).
+  const std::optional<T>& due() const noexcept { return slots_[now_]; }
+
+  std::size_t in_flight() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : slots_) n += s.has_value() ? 1 : 0;
+    return n;
+  }
+
+ private:
+  int latency_;
+  std::vector<std::optional<T>> slots_;
+  std::size_t now_ = 0;
+  bool pushed_this_cycle_ = false;
+};
+
+using FlitChannel = DelayLine<Flit>;
+using CreditChannel = DelayLine<Credit>;
+
+}  // namespace nocdvfs::noc

@@ -1,0 +1,146 @@
+#include "noc/network.hpp"
+
+#include <stdexcept>
+
+namespace nocdvfs::noc {
+
+Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.height) {
+  if (cfg.link_latency < 1) throw std::invalid_argument("Network: link_latency must be >= 1");
+  const int n = topo_.num_nodes();
+
+  RouterConfig rcfg;
+  rcfg.num_vcs = cfg.num_vcs;
+  rcfg.vc_buffer_depth = cfg.vc_buffer_depth;
+  rcfg.routing = cfg.routing;
+
+  NiConfig ncfg;
+  ncfg.num_vcs = cfg.num_vcs;
+  ncfg.vc_buffer_depth = cfg.vc_buffer_depth;
+
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    routers_.push_back(std::make_unique<Router>(id, topo_, rcfg));
+    nis_.push_back(std::make_unique<NetworkInterface>(id, ncfg, &delivered_));
+  }
+
+  // Inter-router links: one flit channel and one reverse credit channel per
+  // directed edge. Wire East/North from each node towards its neighbor; the
+  // opposite direction is wired when visiting the neighbor.
+  for (NodeId id = 0; id < n; ++id) {
+    for (PortDir dir : {PortDir::North, PortDir::East, PortDir::South, PortDir::West}) {
+      if (!topo_.has_neighbor(id, dir)) continue;
+      const NodeId nb = topo_.neighbor(id, dir);
+      auto& flit_ch = new_flit_channel(cfg.link_latency);
+      auto& credit_ch = new_credit_channel(1);
+      routers_[static_cast<std::size_t>(id)]->connect_output(dir, &flit_ch, &credit_ch);
+      routers_[static_cast<std::size_t>(nb)]->connect_input(opposite(dir), &flit_ch, &credit_ch);
+    }
+  }
+
+  // Local ports: injection (NI -> router) and ejection (router -> NI).
+  for (NodeId id = 0; id < n; ++id) {
+    auto& inject_flit = new_flit_channel(1);
+    auto& inject_credit = new_credit_channel(1);
+    auto& eject_flit = new_flit_channel(1);
+    auto& eject_credit = new_credit_channel(1);
+    routers_[static_cast<std::size_t>(id)]->connect_input(PortDir::Local, &inject_flit,
+                                                          &inject_credit);
+    routers_[static_cast<std::size_t>(id)]->connect_output(PortDir::Local, &eject_flit,
+                                                           &eject_credit);
+    nis_[static_cast<std::size_t>(id)]->connect(&inject_flit, &inject_credit, &eject_flit,
+                                                &eject_credit);
+  }
+}
+
+FlitChannel& Network::new_flit_channel(int latency) {
+  flit_channels_.emplace_back(latency);
+  return flit_channels_.back();
+}
+
+CreditChannel& Network::new_credit_channel(int latency) {
+  credit_channels_.emplace_back(latency);
+  return credit_channels_.back();
+}
+
+void Network::step(common::Picoseconds now) {
+  ++cycle_;
+  for (auto& ch : flit_channels_) ch.tick();
+  for (auto& ch : credit_channels_) ch.tick();
+  for (auto& r : routers_) r->receive_phase();
+  for (auto& ni : nis_) ni->receive_phase(now, cycle_);
+  for (auto& r : routers_) r->compute_phase();
+  for (auto& ni : nis_) ni->inject_phase();
+}
+
+power::ActivityCounters Network::total_activity() const {
+  power::ActivityCounters total;
+  for (const auto& r : routers_) total += r->activity();
+  for (const auto& ni : nis_) total += ni->activity();
+  return total;
+}
+
+power::NetworkInventory Network::inventory() const {
+  power::NetworkInventory inv;
+  inv.num_routers = topo_.num_nodes();
+  inv.num_links = topo_.num_directed_links();
+  inv.num_local_links = 2 * topo_.num_nodes();
+  return inv;
+}
+
+std::uint64_t Network::total_flits_generated() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->flits_generated();
+  return n;
+}
+
+std::uint64_t Network::total_flits_injected() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->flits_injected();
+  return n;
+}
+
+std::uint64_t Network::total_flits_ejected() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->flits_ejected();
+  return n;
+}
+
+std::uint64_t Network::total_packets_generated() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->packets_generated();
+  return n;
+}
+
+std::uint64_t Network::total_packets_ejected() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->packets_ejected();
+  return n;
+}
+
+std::uint64_t Network::total_source_backlog_flits() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->source_backlog_flits();
+  return n;
+}
+
+std::uint64_t Network::buffered_flits_now() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += static_cast<std::uint64_t>(r->buffered_now());
+  return n;
+}
+
+std::uint64_t Network::buffer_capacity_flits() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += static_cast<std::uint64_t>(r->buffer_capacity());
+  return n;
+}
+
+std::uint64_t Network::flits_in_network() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += static_cast<std::uint64_t>(r->buffered_flits());
+  for (const auto& ch : flit_channels_) n += ch.in_flight();
+  return n;
+}
+
+}  // namespace nocdvfs::noc

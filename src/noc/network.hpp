@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file network.hpp
+/// The assembled NoC: mesh of routers, inter-router links, credit wires and
+/// per-node network interfaces. `step()` advances exactly one NoC clock
+/// cycle; the dual-clock simulation kernel decides *when* those cycles
+/// happen in master (picosecond) time — that separation is what lets the
+/// DVFS controller slow the network relative to the nodes (the paper's
+/// central mechanism).
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "noc/channel.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "power/activity.hpp"
+#include "power/power_model.hpp"
+
+namespace nocdvfs::noc {
+
+struct NetworkConfig {
+  int width = 5;
+  int height = 5;
+  int num_vcs = 8;
+  int vc_buffer_depth = 4;
+  RoutingAlgo routing = RoutingAlgo::XY;
+  int link_latency = 1;  ///< cycles on inter-router links
+
+  int num_nodes() const noexcept { return width * height; }
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Advance one NoC clock cycle at master time `now`.
+  void step(common::Picoseconds now);
+
+  std::uint64_t cycle() const noexcept { return cycle_; }
+  const NetworkConfig& config() const noexcept { return cfg_; }
+  const MeshTopology& topology() const noexcept { return topo_; }
+  int num_nodes() const noexcept { return topo_.num_nodes(); }
+
+  NetworkInterface& ni(NodeId node) { return *nis_.at(static_cast<std::size_t>(node)); }
+  const NetworkInterface& ni(NodeId node) const {
+    return *nis_.at(static_cast<std::size_t>(node));
+  }
+  const Router& router(NodeId node) const { return *routers_.at(static_cast<std::size_t>(node)); }
+
+  /// Packets delivered since the caller last cleared this vector.
+  std::vector<PacketRecord>& delivered() noexcept { return delivered_; }
+
+  // --- aggregate measurement ---
+  power::ActivityCounters total_activity() const;
+  power::NetworkInventory inventory() const;
+  std::uint64_t total_flits_generated() const;
+  std::uint64_t total_flits_injected() const;
+  std::uint64_t total_flits_ejected() const;
+  std::uint64_t total_packets_generated() const;
+  std::uint64_t total_packets_ejected() const;
+  std::uint64_t total_source_backlog_flits() const;
+  /// Flits inside router buffers and on links (conservation checks).
+  std::uint64_t flits_in_network() const;
+  /// O(routers) snapshot of router-buffer occupancy (excludes link
+  /// pipelines); cheap enough to sample every NoC cycle.
+  std::uint64_t buffered_flits_now() const;
+  /// Total flit capacity of all wired input buffers.
+  std::uint64_t buffer_capacity_flits() const;
+
+ private:
+  FlitChannel& new_flit_channel(int latency);
+  CreditChannel& new_credit_channel(int latency);
+
+  NetworkConfig cfg_;
+  MeshTopology topo_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  // deques: stable element addresses across push_back during wiring
+  std::deque<FlitChannel> flit_channels_;
+  std::deque<CreditChannel> credit_channels_;
+  std::vector<PacketRecord> delivered_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace nocdvfs::noc

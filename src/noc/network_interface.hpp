@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file network_interface.hpp
+/// Per-node network interface — the node↔NoC clock-domain boundary.
+///
+/// Traffic generators run in the node clock domain and enqueue packets into
+/// an unbounded source queue (its occupancy is exactly the latency the
+/// paper's RMSD policy trades away). The injection side runs in the NoC
+/// clock domain: it serializes one packet at a time into flits, picks a
+/// virtual channel with available credits per packet, and pushes at most
+/// one flit per NoC cycle towards the router's Local input port.
+///
+/// The ejection side receives flits from the router's Local output,
+/// reassembles packets per VC, returns credits, and emits a PacketRecord on
+/// each tail flit — the raw measurement both the metrics layer and the DMSD
+/// controller consume (end-to-end delay including source queueing).
+
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+#include "noc/channel.hpp"
+#include "noc/types.hpp"
+#include "power/activity.hpp"
+
+namespace nocdvfs::noc {
+
+struct NiConfig {
+  int num_vcs = 8;
+  int vc_buffer_depth = 4;  ///< credits towards the router's Local input
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId node, const NiConfig& cfg, std::vector<PacketRecord>* delivered_sink);
+
+  NetworkInterface(const NetworkInterface&) = delete;
+  NetworkInterface& operator=(const NetworkInterface&) = delete;
+  NetworkInterface(NetworkInterface&&) = delete;
+  NetworkInterface& operator=(NetworkInterface&&) = delete;
+
+  void connect(FlitChannel* inject_out, CreditChannel* inject_credit_in, FlitChannel* eject_in,
+               CreditChannel* eject_credit_out);
+
+  /// Node-domain entry point: queue a packet of `size_flits` flits to `dst`.
+  /// `create_time_ps`/`create_noc_cycle` stamp the packet's birth — for a
+  /// reply in a request–reply workload the caller passes the *request's*
+  /// creation instant so the reply's measured delay is the full round trip.
+  /// `traffic_class` is an opaque label carried to the PacketRecord.
+  void enqueue_packet(NodeId dst, int size_flits, common::Picoseconds create_time_ps,
+                      std::uint64_t create_noc_cycle, std::uint8_t traffic_class = 0);
+
+  /// NoC-domain phase 1: latch ejected flits and returning credits.
+  void receive_phase(common::Picoseconds now, std::uint64_t noc_cycle);
+  /// NoC-domain phase 2: inject at most one flit if a VC/credit allows.
+  void inject_phase();
+
+  NodeId node() const noexcept { return node_; }
+
+  // --- measurement accessors (monotone counters) ---
+  std::uint64_t packets_generated() const noexcept { return packets_generated_; }
+  std::uint64_t flits_generated() const noexcept { return flits_generated_; }
+  std::uint64_t flits_injected() const noexcept { return flits_injected_; }
+  std::uint64_t flits_ejected() const noexcept { return flits_ejected_; }
+  std::uint64_t packets_ejected() const noexcept { return packets_ejected_; }
+  /// Flits still waiting in (or partially drained from) the source queue.
+  std::uint64_t source_backlog_flits() const noexcept;
+  const power::ActivityCounters& activity() const noexcept { return activity_; }
+
+ private:
+  struct PendingPacket {
+    PacketId id = 0;
+    NodeId dst = -1;
+    std::uint16_t size = 0;
+    std::uint8_t traffic_class = 0;
+    common::Picoseconds create_time_ps = 0;
+    std::uint64_t create_noc_cycle = 0;
+  };
+  struct Reassembly {
+    PacketId packet_id = 0;
+    std::uint16_t received = 0;
+    bool open = false;
+  };
+
+  NodeId node_;
+  NiConfig cfg_;
+  std::vector<PacketRecord>* delivered_sink_;
+
+  FlitChannel* inject_out_ = nullptr;
+  CreditChannel* inject_credit_in_ = nullptr;
+  FlitChannel* eject_in_ = nullptr;
+  CreditChannel* eject_credit_out_ = nullptr;
+
+  std::deque<PendingPacket> source_queue_;
+  std::vector<int> credits_;          ///< per-VC credits towards the router
+  std::vector<Reassembly> assembly_;  ///< per-VC ejection reassembly state
+  int vc_rr_ptr_ = 0;                 ///< round-robin VC choice for new packets
+
+  bool sending_ = false;
+  PendingPacket current_{};
+  int active_vc_ = -1;
+  std::uint16_t next_flit_index_ = 0;
+
+  std::uint64_t next_packet_seq_ = 0;
+  std::uint64_t packets_generated_ = 0;
+  std::uint64_t flits_generated_ = 0;
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t flits_ejected_ = 0;
+  std::uint64_t packets_ejected_ = 0;
+  power::ActivityCounters activity_;
+};
+
+}  // namespace nocdvfs::noc

@@ -1,0 +1,286 @@
+#include "noc/router.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace nocdvfs::noc {
+
+Router::Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg)
+    : id_(id),
+      topo_(&topo),
+      cfg_(cfg),
+      va_alloc_(kMeshPorts * cfg.num_vcs, kMeshPorts * cfg.num_vcs),
+      sa_input_ptr_(kMeshPorts, 0),
+      sa_output_ptr_(kMeshPorts, 0) {
+  if (cfg.num_vcs < 1 || cfg.num_vcs > 64) {
+    throw std::invalid_argument("Router: num_vcs must be in [1, 64]");
+  }
+  if (cfg.vc_buffer_depth < 1) {
+    throw std::invalid_argument("Router: vc_buffer_depth must be positive");
+  }
+  if (!topo.valid(id)) throw std::invalid_argument("Router: node id outside topology");
+
+  in_.resize(kMeshPorts);
+  out_.resize(kMeshPorts);
+  for (int p = 0; p < kMeshPorts; ++p) {
+    in_[p].vcs.reserve(static_cast<std::size_t>(cfg.num_vcs));
+    for (int v = 0; v < cfg.num_vcs; ++v) in_[p].vcs.emplace_back(cfg.vc_buffer_depth);
+    out_[p].vcs.assign(static_cast<std::size_t>(cfg.num_vcs), OutputVc{});
+  }
+}
+
+void Router::connect_input(PortDir port, FlitChannel* flit_in, CreditChannel* credit_out) {
+  auto& ip = in_[static_cast<std::size_t>(port_index(port))];
+  NOCDVFS_ASSERT(ip.flit_in == nullptr, "input port wired twice");
+  if (flit_in == nullptr || credit_out == nullptr) {
+    throw std::invalid_argument("Router::connect_input: null channel");
+  }
+  ip.flit_in = flit_in;
+  ip.credit_out = credit_out;
+  wired_in_.push_back(port_index(port));
+}
+
+void Router::connect_output(PortDir port, FlitChannel* flit_out, CreditChannel* credit_in) {
+  auto& op = out_[static_cast<std::size_t>(port_index(port))];
+  NOCDVFS_ASSERT(op.flit_out == nullptr, "output port wired twice");
+  if (flit_out == nullptr || credit_in == nullptr) {
+    throw std::invalid_argument("Router::connect_output: null channel");
+  }
+  op.flit_out = flit_out;
+  op.credit_in = credit_in;
+  wired_out_.push_back(port_index(port));
+  // Credits mirror the downstream input buffer, one counter per VC.
+  for (auto& ovc : op.vcs) ovc.credits = cfg_.vc_buffer_depth;
+}
+
+void Router::receive_phase() {
+  for (const int q : wired_out_) {
+    auto& op = out_[static_cast<std::size_t>(q)];
+    if (auto credit = op.credit_in->pop()) {
+      auto& ovc = op.vcs[credit->vc];
+      ++ovc.credits;
+      NOCDVFS_ASSERT(ovc.credits <= cfg_.vc_buffer_depth, "credit counter overflow");
+    }
+  }
+  for (const int p : wired_in_) {
+    auto& ip = in_[static_cast<std::size_t>(p)];
+    if (auto flit = ip.flit_in->pop()) {
+      auto& ivc = ip.vcs[flit->vc];
+      NOCDVFS_ASSERT(!ivc.buffer.full(), "flit arrived to a full VC buffer (credit bug)");
+      ivc.buffer.push(*flit);
+      ++activity_.buffer_writes;
+      ++buffered_total_;
+      if (ivc.state == VcStateKind::Idle && ivc.buffer.size() == 1) {
+        ++rc_pending_;
+      } else if (ivc.state == VcStateKind::Active) {
+        sa_candidates_[static_cast<std::size_t>(p)] |= std::uint64_t{1} << flit->vc;
+      }
+    }
+  }
+}
+
+void Router::compute_phase() {
+  if (buffered_total_ > 0) switch_allocation_and_traversal();
+  if (waiting_count_ > 0) vc_allocation();
+  if (rc_pending_ > 0) route_computation();
+}
+
+void Router::switch_allocation_and_traversal() {
+  // Stage 1 (input arbitration): each input port selects one SA-eligible VC,
+  // scanning round-robin from its pointer. Eligible: Active, flit buffered,
+  // credit available on the held output VC.
+  std::array<int, kMeshPorts> chosen_vc{};
+  std::array<int, kMeshPorts> requested_out{};
+  chosen_vc.fill(-1);
+  requested_out.fill(-1);
+
+  const int v_count = cfg_.num_vcs;
+  for (const int p : wired_in_) {
+    const std::uint64_t candidates = sa_candidates_[static_cast<std::size_t>(p)];
+    if (candidates == 0) continue;
+    auto& ip = in_[static_cast<std::size_t>(p)];
+    const int ptr = sa_input_ptr_[static_cast<std::size_t>(p)];
+    // Round-robin over the candidate bitmask: bits at/above the pointer
+    // first, then the wrapped-around low bits.
+    const std::uint64_t above = candidates & ~((std::uint64_t{1} << ptr) - 1);
+    auto scan = [&](std::uint64_t bits) -> int {
+      while (bits != 0) {
+        const int v = std::countr_zero(bits);
+        const auto& ivc = ip.vcs[static_cast<std::size_t>(v)];
+        const auto& ovc = out_[static_cast<std::size_t>(ivc.out_port)]
+                              .vcs[static_cast<std::size_t>(ivc.out_vc)];
+        if (ovc.credits > 0) return v;
+        bits &= bits - 1;  // credit-starved: try the next candidate
+      }
+      return -1;
+    };
+    int v = scan(above);
+    if (v < 0) v = scan(candidates & ~above);
+    if (v < 0) continue;
+    chosen_vc[static_cast<std::size_t>(p)] = v;
+    requested_out[static_cast<std::size_t>(p)] = ip.vcs[static_cast<std::size_t>(v)].out_port;
+    ++activity_.alloc_requests;
+  }
+
+  // Stage 2 (output arbitration): each output port grants one requesting
+  // input port. Pointers advance only on a grant (iSLIP discipline).
+  for (int q = 0; q < kMeshPorts; ++q) {
+    if (!out_[static_cast<std::size_t>(q)].connected()) continue;
+    const int ptr = sa_output_ptr_[static_cast<std::size_t>(q)];
+    int winner = -1;
+    for (int off = 0; off < kMeshPorts; ++off) {
+      const int p = (ptr + off) % kMeshPorts;
+      if (requested_out[static_cast<std::size_t>(p)] == q) {
+        winner = p;
+        break;
+      }
+    }
+    if (winner < 0) continue;
+    sa_output_ptr_[static_cast<std::size_t>(q)] = (winner + 1) % kMeshPorts;
+    sa_input_ptr_[static_cast<std::size_t>(winner)] =
+        (chosen_vc[static_cast<std::size_t>(winner)] + 1) % v_count;
+    ++activity_.sw_alloc_grants;
+    traverse(winner, chosen_vc[static_cast<std::size_t>(winner)]);
+  }
+}
+
+void Router::traverse(int in_port, int in_vc) {
+  auto& ip = in_[static_cast<std::size_t>(in_port)];
+  auto& ivc = ip.vcs[static_cast<std::size_t>(in_vc)];
+  auto& op = out_[static_cast<std::size_t>(ivc.out_port)];
+  auto& ovc = op.vcs[static_cast<std::size_t>(ivc.out_vc)];
+
+  Flit flit = ivc.buffer.pop();
+  --buffered_total_;
+  if (ivc.buffer.empty()) {
+    sa_candidates_[static_cast<std::size_t>(in_port)] &= ~(std::uint64_t{1} << in_vc);
+  }
+  ++activity_.buffer_reads;
+  ++activity_.crossbar_traversals;
+
+  NOCDVFS_ASSERT(ovc.credits > 0, "switch traversal without credit");
+  --ovc.credits;
+  flit.vc = static_cast<std::uint8_t>(ivc.out_vc);
+  ++flit.hops;
+  if (port_dir(ivc.out_port) == PortDir::Local) {
+    ++activity_.local_flit_hops;
+  } else {
+    ++activity_.link_flit_hops;
+  }
+  op.flit_out->push(flit);
+
+  // Freed buffer slot: credit flows back to the upstream sender.
+  NOCDVFS_ASSERT(ip.credit_out != nullptr, "dequeue from port without credit channel");
+  ip.credit_out->push(Credit{static_cast<std::uint8_t>(in_vc)});
+
+  if (flit.tail) {
+    ovc.allocated = false;
+    ovc.owner_port = -1;
+    ovc.owner_vc = -1;
+    ivc.state = VcStateKind::Idle;
+    ivc.out_port = -1;
+    ivc.out_vc = -1;
+    sa_candidates_[static_cast<std::size_t>(in_port)] &= ~(std::uint64_t{1} << in_vc);
+    if (!ivc.buffer.empty()) {
+      NOCDVFS_ASSERT(ivc.buffer.front().head, "flit following a tail must be a head");
+      ++rc_pending_;  // the next packet's head awaits route computation
+    }
+  }
+}
+
+void Router::vc_allocation() {
+  const int v_count = cfg_.num_vcs;
+  bool any_request = false;
+  for (const int p : wired_in_) {
+    auto& ip = in_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < v_count; ++v) {
+      auto& ivc = ip.vcs[static_cast<std::size_t>(v)];
+      if (ivc.state != VcStateKind::Waiting) continue;
+      const auto& op = out_[static_cast<std::size_t>(ivc.out_port)];
+      const int agent = p * v_count + v;
+      for (int u = 0; u < v_count; ++u) {
+        if (op.vcs[static_cast<std::size_t>(u)].allocated) continue;
+        va_alloc_.add_request(agent, ivc.out_port * v_count + u);
+        ++activity_.alloc_requests;
+        any_request = true;
+      }
+    }
+  }
+  if (!any_request) return;
+
+  for (const auto& [agent, resource] : va_alloc_.allocate()) {
+    const int p = agent / v_count;
+    const int v = agent % v_count;
+    const int q = resource / v_count;
+    const int u = resource % v_count;
+    auto& ivc = in_[static_cast<std::size_t>(p)].vcs[static_cast<std::size_t>(v)];
+    auto& ovc = out_[static_cast<std::size_t>(q)].vcs[static_cast<std::size_t>(u)];
+    NOCDVFS_ASSERT(ivc.state == VcStateKind::Waiting, "VA grant to non-waiting VC");
+    NOCDVFS_ASSERT(!ovc.allocated, "VA granted an allocated output VC");
+    NOCDVFS_ASSERT(q == ivc.out_port, "VA grant on wrong output port");
+    ivc.state = VcStateKind::Active;
+    --waiting_count_;
+    // A Waiting VC always still buffers its head flit, so it becomes an SA
+    // candidate immediately.
+    sa_candidates_[static_cast<std::size_t>(p)] |= std::uint64_t{1} << v;
+    ivc.out_vc = u;
+    ovc.allocated = true;
+    ovc.owner_port = p;
+    ovc.owner_vc = v;
+    ++activity_.vc_alloc_grants;
+  }
+}
+
+void Router::route_computation() {
+  for (const int p : wired_in_) {
+    auto& ip = in_[static_cast<std::size_t>(p)];
+    for (auto& ivc : ip.vcs) {
+      if (ivc.state != VcStateKind::Idle || ivc.buffer.empty()) continue;
+      const Flit& head = ivc.buffer.front();
+      NOCDVFS_ASSERT(head.head, "non-head flit at the front of an Idle VC");
+      const PortDir dir = route_dor(cfg_.routing, *topo_, id_, head.dst);
+      const int q = port_index(dir);
+      NOCDVFS_ASSERT(out_[static_cast<std::size_t>(q)].connected(),
+                     "route computed towards an unwired port");
+      ivc.out_port = q;
+      ivc.state = VcStateKind::Waiting;
+      --rc_pending_;
+      ++waiting_count_;
+    }
+  }
+}
+
+int Router::buffered_flits() const noexcept {
+  int n = 0;
+  for (const auto& ip : in_) {
+    for (const auto& ivc : ip.vcs) n += static_cast<int>(ivc.buffer.size());
+  }
+  return n;
+}
+
+int Router::output_credits(PortDir port, int vc) const {
+  return out_.at(static_cast<std::size_t>(port_index(port)))
+      .vcs.at(static_cast<std::size_t>(vc))
+      .credits;
+}
+
+bool Router::output_vc_allocated(PortDir port, int vc) const {
+  return out_.at(static_cast<std::size_t>(port_index(port)))
+      .vcs.at(static_cast<std::size_t>(vc))
+      .allocated;
+}
+
+VcStateKind Router::input_vc_state(PortDir port, int vc) const {
+  return in_.at(static_cast<std::size_t>(port_index(port)))
+      .vcs.at(static_cast<std::size_t>(vc))
+      .state;
+}
+
+int Router::input_vc_occupancy(PortDir port, int vc) const {
+  return static_cast<int>(in_.at(static_cast<std::size_t>(port_index(port)))
+                              .vcs.at(static_cast<std::size_t>(vc))
+                              .buffer.size());
+}
+
+}  // namespace nocdvfs::noc

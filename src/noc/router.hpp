@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file router.hpp
+/// Input-queued virtual-channel router with the canonical 4-stage pipeline:
+///
+///   RC  — a head flit reaching the front of an Idle VC computes its output
+///         port (dimension-ordered routing);
+///   VA  — the VC requests an output VC through a separable input-first
+///         allocator; body flits inherit the allocation;
+///   SA  — per-cycle switch allocation: one flit per input port and per
+///         output port, round-robin at both stages, credit-gated;
+///   ST  — the granted flit crosses the switch onto the output link and a
+///         credit returns upstream for the freed buffer slot.
+///
+/// Stage separation is enforced by executing SA→VA→RC in reverse order each
+/// cycle, so a flit advances at most one control stage per cycle (head-flit
+/// hop latency: 3 router cycles + link latency). The output VC is held from
+/// VA grant until the tail flit traverses.
+///
+/// Credit-based flow control: each output VC mirrors the downstream buffer
+/// as a credit counter, initialized to the buffer depth and replenished by
+/// the reverse credit channel.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "noc/allocator.hpp"
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+#include "power/activity.hpp"
+
+namespace nocdvfs::noc {
+
+struct RouterConfig {
+  int num_vcs = 8;
+  int vc_buffer_depth = 4;  ///< flits per VC FIFO
+  RoutingAlgo routing = RoutingAlgo::XY;
+};
+
+enum class VcStateKind : std::uint8_t {
+  Idle,     ///< no packet; head at front (if any) awaits RC
+  Waiting,  ///< routed; awaiting an output VC (VA)
+  Active,   ///< output VC held; flits compete for the switch (SA)
+};
+
+class Router {
+ public:
+  Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+  Router(Router&&) = delete;
+  Router& operator=(Router&&) = delete;
+
+  /// Wire one input port: incoming flits and the reverse credit channel.
+  void connect_input(PortDir port, FlitChannel* flit_in, CreditChannel* credit_out);
+  /// Wire one output port: outgoing flits and the incoming credit channel.
+  void connect_output(PortDir port, FlitChannel* flit_out, CreditChannel* credit_in);
+
+  /// Phase 1 of a network cycle: latch arriving credits and flits.
+  void receive_phase();
+  /// Phase 2: SA+ST, then VA, then RC (reverse pipeline order).
+  void compute_phase();
+
+  NodeId id() const noexcept { return id_; }
+  const RouterConfig& config() const noexcept { return cfg_; }
+  const power::ActivityCounters& activity() const noexcept { return activity_; }
+
+  // --- introspection for tests and invariant checks ---
+  int buffered_flits() const noexcept;
+  /// O(1) occupancy snapshot (the maintained counter behind the scan
+  /// early-outs); sampled every cycle by the occupancy-based controller.
+  int buffered_now() const noexcept { return buffered_total_; }
+  /// Flit slots across the wired input ports (occupancy denominator).
+  int buffer_capacity() const noexcept {
+    return static_cast<int>(wired_in_.size()) * cfg_.num_vcs * cfg_.vc_buffer_depth;
+  }
+  int output_credits(PortDir port, int vc) const;
+  bool output_vc_allocated(PortDir port, int vc) const;
+  VcStateKind input_vc_state(PortDir port, int vc) const;
+  int input_vc_occupancy(PortDir port, int vc) const;
+
+ private:
+  struct InputVc {
+    explicit InputVc(int depth) : buffer(static_cast<std::size_t>(depth)) {}
+    common::RingBuffer<Flit> buffer;
+    VcStateKind state = VcStateKind::Idle;
+    int out_port = -1;
+    int out_vc = -1;
+  };
+  struct InputPort {
+    std::vector<InputVc> vcs;
+    FlitChannel* flit_in = nullptr;
+    CreditChannel* credit_out = nullptr;
+  };
+  struct OutputVc {
+    int credits = 0;
+    bool allocated = false;
+    int owner_port = -1;
+    int owner_vc = -1;
+  };
+  struct OutputPort {
+    std::vector<OutputVc> vcs;
+    FlitChannel* flit_out = nullptr;
+    CreditChannel* credit_in = nullptr;
+    bool connected() const noexcept { return flit_out != nullptr; }
+  };
+
+  void switch_allocation_and_traversal();
+  void vc_allocation();
+  void route_computation();
+  void traverse(int in_port, int in_vc);
+
+  NodeId id_;
+  const MeshTopology* topo_;
+  RouterConfig cfg_;
+  std::vector<InputPort> in_;
+  std::vector<OutputPort> out_;
+  SeparableAllocator va_alloc_;
+  std::vector<int> sa_input_ptr_;   ///< per input port: round-robin over VCs
+  std::vector<int> sa_output_ptr_;  ///< per output port: round-robin over input ports
+  power::ActivityCounters activity_;
+
+  // Scan early-outs: pipeline stages iterate ports×VCs, and most of those
+  // slots are dead most of the time. These counters — maintained on every
+  // state transition — let each stage skip entirely when it has no work,
+  // which is the difference between O(active) and O(ports·VCs) per cycle.
+  int buffered_total_ = 0;  ///< flits in all input FIFOs (gates SA)
+  int waiting_count_ = 0;   ///< VCs in Waiting state (gates VA)
+  int rc_pending_ = 0;      ///< Idle VCs with a buffered head (gates RC)
+
+  /// Per input port: bit v set iff VC v is Active with a buffered flit —
+  /// the SA stage-1 candidate set (credit availability checked at scan
+  /// time). Lets the hot path visit only populated VCs. num_vcs <= 64 is
+  /// enforced at construction.
+  std::array<std::uint64_t, kMeshPorts> sa_candidates_{};
+
+  std::vector<int> wired_in_;   ///< indices of connected input ports
+  std::vector<int> wired_out_;  ///< indices of connected output ports
+};
+
+}  // namespace nocdvfs::noc

@@ -1,0 +1,35 @@
+#include "noc/routing.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace nocdvfs::noc {
+
+PortDir route_dor(RoutingAlgo algo, const MeshTopology& topo, NodeId here, NodeId dst) {
+  const Coord h = topo.coord_of(here);
+  const Coord d = topo.coord_of(dst);
+  if (algo == RoutingAlgo::XY) {
+    if (d.x > h.x) return PortDir::East;
+    if (d.x < h.x) return PortDir::West;
+    if (d.y > h.y) return PortDir::North;
+    if (d.y < h.y) return PortDir::South;
+  } else {
+    if (d.y > h.y) return PortDir::North;
+    if (d.y < h.y) return PortDir::South;
+    if (d.x > h.x) return PortDir::East;
+    if (d.x < h.x) return PortDir::West;
+  }
+  return PortDir::Local;
+}
+
+RoutingAlgo routing_algo_from_string(const std::string& name) {
+  if (name == "xy") return RoutingAlgo::XY;
+  if (name == "yx") return RoutingAlgo::YX;
+  throw std::invalid_argument("routing_algo_from_string: unknown algorithm '" + name + "'");
+}
+
+const char* to_string(RoutingAlgo algo) noexcept {
+  return algo == RoutingAlgo::XY ? "xy" : "yx";
+}
+
+}  // namespace nocdvfs::noc

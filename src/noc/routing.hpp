@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file routing.hpp
+/// Deterministic routing on the mesh. The paper uses dimension-ordered
+/// routing (XY); YX is included so tests can cross-check symmetry and the
+/// sensitivity harness can vary the algorithm.
+///
+/// Both orders are minimal and acyclic on a mesh, hence deadlock-free with
+/// any number of VCs and no VC-class restrictions.
+
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+
+namespace nocdvfs::noc {
+
+enum class RoutingAlgo { XY, YX };
+
+/// Output port for a packet at router `here` destined for `dst`.
+/// Returns Local when here == dst.
+PortDir route_dor(RoutingAlgo algo, const MeshTopology& topo, NodeId here, NodeId dst);
+
+/// Parse "xy" / "yx"; throws std::invalid_argument otherwise.
+RoutingAlgo routing_algo_from_string(const std::string& name);
+const char* to_string(RoutingAlgo algo) noexcept;
+
+}  // namespace nocdvfs::noc

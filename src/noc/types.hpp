@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file types.hpp
+/// Core vocabulary of the NoC substrate: node/packet identifiers, mesh
+/// coordinates, ports, flits and credits.
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace nocdvfs::noc {
+
+using NodeId = std::int32_t;      ///< 0 .. N-1, row-major over the mesh
+using PacketId = std::uint64_t;
+
+struct Coord {
+  int x = 0;  ///< increases eastwards
+  int y = 0;  ///< increases northwards
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Router ports of a 2-D mesh. The numeric values index port arrays.
+enum class PortDir : std::uint8_t { North = 0, East = 1, South = 2, West = 3, Local = 4 };
+
+inline constexpr int kMeshPorts = 5;
+
+constexpr int port_index(PortDir d) noexcept { return static_cast<int>(d); }
+
+constexpr PortDir port_dir(int index) noexcept { return static_cast<PortDir>(index); }
+
+constexpr PortDir opposite(PortDir d) noexcept {
+  switch (d) {
+    case PortDir::North: return PortDir::South;
+    case PortDir::South: return PortDir::North;
+    case PortDir::East: return PortDir::West;
+    case PortDir::West: return PortDir::East;
+    case PortDir::Local: return PortDir::Local;
+  }
+  return PortDir::Local;
+}
+
+constexpr const char* port_name(PortDir d) noexcept {
+  switch (d) {
+    case PortDir::North: return "N";
+    case PortDir::East: return "E";
+    case PortDir::South: return "S";
+    case PortDir::West: return "W";
+    case PortDir::Local: return "L";
+  }
+  return "?";
+}
+
+/// One flow-control unit. Flits carry enough context (src/dst/timestamps)
+/// to be self-describing at the ejection side; this mirrors the paper's
+/// note that delay measurement only needs a timestamp in the head flit.
+struct Flit {
+  PacketId packet_id = 0;
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint16_t flit_index = 0;     ///< position within the packet
+  std::uint16_t packet_size = 0;    ///< total flits in the packet
+  bool head = false;
+  bool tail = false;
+  common::Picoseconds create_time_ps = 0;  ///< generation instant (node domain)
+  std::uint64_t create_noc_cycle = 0;      ///< NoC cycle count at generation
+  std::uint8_t vc = 0;                     ///< VC on the link being traversed
+  std::uint16_t hops = 0;                  ///< routers traversed so far
+  /// Workload-defined label carried end to end (e.g. 0 = request, 1 =
+  /// reply); the metrics layer splits delay statistics per class.
+  std::uint8_t traffic_class = 0;
+};
+
+/// Credit returned upstream when a buffer slot frees.
+struct Credit {
+  std::uint8_t vc = 0;
+};
+
+/// Completed-packet record produced at the ejection side; the raw material
+/// for both the metrics layer and the DMSD delay measurement.
+struct PacketRecord {
+  PacketId packet_id = 0;
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint16_t size = 0;
+  std::uint16_t hops = 0;
+  std::uint8_t traffic_class = 0;
+  common::Picoseconds create_time_ps = 0;
+  common::Picoseconds eject_time_ps = 0;
+  std::uint64_t create_noc_cycle = 0;
+  std::uint64_t eject_noc_cycle = 0;
+
+  double delay_ns() const noexcept {
+    return common::ns_from_ps(eject_time_ps - create_time_ps);
+  }
+  std::uint64_t latency_cycles() const noexcept { return eject_noc_cycle - create_noc_cycle; }
+};
+
+}  // namespace nocdvfs::noc

@@ -1,0 +1,88 @@
+#include "power/power_model.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace nocdvfs::power {
+
+using common::Picoseconds;
+
+PowerAccumulator::PowerAccumulator(const EnergyModel& model, NetworkInventory inventory)
+    : model_(&model), inventory_(inventory) {
+  if (inventory.num_routers <= 0) {
+    throw std::invalid_argument("PowerAccumulator: inventory needs at least one router");
+  }
+  if (inventory.num_links < 0 || inventory.num_local_links < 0) {
+    throw std::invalid_argument("PowerAccumulator: negative link counts");
+  }
+}
+
+void PowerAccumulator::start(Picoseconds now, const ActivityCounters& activity,
+                             std::uint64_t noc_cycles, double vdd, common::Hertz f) {
+  NOCDVFS_ASSERT(!running_, "PowerAccumulator::start while running");
+  running_ = true;
+  seg_start_ps_ = now;
+  seg_activity_ = activity;
+  seg_cycles_ = noc_cycles;
+  vdd_ = vdd;
+  f_ = f;
+}
+
+void PowerAccumulator::close_segment(Picoseconds now, const ActivityCounters& activity,
+                                     std::uint64_t noc_cycles) {
+  NOCDVFS_ASSERT(now >= seg_start_ps_, "PowerAccumulator: time went backwards");
+  NOCDVFS_ASSERT(noc_cycles >= seg_cycles_, "PowerAccumulator: cycle count went backwards");
+  const ActivityCounters delta = activity.diff_since(seg_activity_);
+  const std::uint64_t cycles = noc_cycles - seg_cycles_;
+  const Picoseconds dur = now - seg_start_ps_;
+
+  breakdown_.datapath_j += model_->event_energy_j(delta, vdd_);
+  breakdown_.clock_j += model_->clock_energy_j(cycles, vdd_) *
+                        static_cast<double>(inventory_.num_routers);
+  const double leak_w = model_->router_leakage_w(vdd_) * inventory_.num_routers +
+                        model_->link_leakage_w(vdd_) *
+                            (inventory_.num_links + 0.5 * inventory_.num_local_links);
+  breakdown_.leakage_j += leak_w * common::seconds_from_ps(dur);
+  breakdown_.elapsed_ps += dur;
+}
+
+void PowerAccumulator::change_operating_point(Picoseconds now, const ActivityCounters& activity,
+                                              std::uint64_t noc_cycles, double vdd,
+                                              common::Hertz f) {
+  NOCDVFS_ASSERT(running_, "PowerAccumulator::change_operating_point while stopped");
+  close_segment(now, activity, noc_cycles);
+  seg_start_ps_ = now;
+  seg_activity_ = activity;
+  seg_cycles_ = noc_cycles;
+  vdd_ = vdd;
+  f_ = f;
+}
+
+void PowerAccumulator::stop(Picoseconds now, const ActivityCounters& activity,
+                            std::uint64_t noc_cycles) {
+  NOCDVFS_ASSERT(running_, "PowerAccumulator::stop while stopped");
+  close_segment(now, activity, noc_cycles);
+  running_ = false;
+}
+
+void PowerAccumulator::reset() noexcept {
+  breakdown_ = PowerBreakdown{};
+  running_ = false;
+}
+
+PowerBreakdown integrate_constant_vf(const EnergyModel& model, const NetworkInventory& inventory,
+                                     const ActivityCounters& activity_delta,
+                                     std::uint64_t noc_cycles, Picoseconds duration, double vdd) {
+  PowerBreakdown b;
+  b.datapath_j = model.event_energy_j(activity_delta, vdd);
+  b.clock_j = model.clock_energy_j(noc_cycles, vdd) * inventory.num_routers;
+  const double leak_w = model.router_leakage_w(vdd) * inventory.num_routers +
+                        model.link_leakage_w(vdd) *
+                            (inventory.num_links + 0.5 * inventory.num_local_links);
+  b.leakage_j = leak_w * common::seconds_from_ps(duration);
+  b.elapsed_ps = duration;
+  return b;
+}
+
+}  // namespace nocdvfs::power

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file power_model.hpp
+/// Integrates switching activity over (V, F) segments into energy and
+/// average power — the measurement-side counterpart of the DVFS loop.
+///
+/// DVFS changes voltage/frequency at control updates, so a measurement
+/// interval is a sequence of segments each at constant (V, F). The
+/// accumulator closes a segment whenever the operating point changes and on
+/// `stop()`, charging:
+///   * data-path event energy for the activity delta at the segment voltage,
+///   * clock-tree energy for the NoC cycles elapsed in the segment,
+///   * leakage for the wall-clock duration of the segment.
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "power/energy_model.hpp"
+
+namespace nocdvfs::power {
+
+/// Energy breakdown in joules plus derived average power.
+struct PowerBreakdown {
+  double datapath_j = 0.0;  ///< buffers + crossbar + allocators + links
+  double clock_j = 0.0;
+  double leakage_j = 0.0;
+  common::Picoseconds elapsed_ps = 0;
+
+  double total_j() const noexcept { return datapath_j + clock_j + leakage_j; }
+  double elapsed_s() const noexcept { return common::seconds_from_ps(elapsed_ps); }
+  double average_power_w() const noexcept {
+    return elapsed_ps ? total_j() / elapsed_s() : 0.0;
+  }
+  double average_power_mw() const noexcept { return average_power_w() * 1e3; }
+};
+
+/// Counts of the power-consuming structures in the network.
+struct NetworkInventory {
+  int num_routers = 0;
+  int num_links = 0;        ///< unidirectional inter-router links
+  int num_local_links = 0;  ///< injection + ejection channels
+};
+
+class PowerAccumulator {
+ public:
+  PowerAccumulator(const EnergyModel& model, NetworkInventory inventory);
+
+  /// Open the first segment. `activity` is the network-wide running total,
+  /// `noc_cycles` the global NoC cycle count at this instant.
+  void start(common::Picoseconds now, const ActivityCounters& activity,
+             std::uint64_t noc_cycles, double vdd, common::Hertz f);
+
+  /// Close the open segment at `now` and open a new one at (vdd, f).
+  void change_operating_point(common::Picoseconds now, const ActivityCounters& activity,
+                              std::uint64_t noc_cycles, double vdd, common::Hertz f);
+
+  /// Close the final segment. The accumulator can be re-started afterwards.
+  void stop(common::Picoseconds now, const ActivityCounters& activity,
+            std::uint64_t noc_cycles);
+
+  bool running() const noexcept { return running_; }
+  const PowerBreakdown& breakdown() const noexcept { return breakdown_; }
+
+  /// Reset accumulated energy (keeps model/inventory).
+  void reset() noexcept;
+
+ private:
+  void close_segment(common::Picoseconds now, const ActivityCounters& activity,
+                     std::uint64_t noc_cycles);
+
+  const EnergyModel* model_;
+  NetworkInventory inventory_;
+  PowerBreakdown breakdown_;
+
+  bool running_ = false;
+  common::Picoseconds seg_start_ps_ = 0;
+  ActivityCounters seg_activity_{};
+  std::uint64_t seg_cycles_ = 0;
+  double vdd_ = 0.0;
+  common::Hertz f_ = 0.0;
+};
+
+/// One-shot helper for constant-(V,F) intervals (No-DVFS runs, tests).
+PowerBreakdown integrate_constant_vf(const EnergyModel& model, const NetworkInventory& inventory,
+                                     const ActivityCounters& activity_delta,
+                                     std::uint64_t noc_cycles, common::Picoseconds duration,
+                                     double vdd);
+
+}  // namespace nocdvfs::power

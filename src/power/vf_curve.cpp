@@ -1,0 +1,105 @@
+#include "power/vf_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace nocdvfs::power {
+
+using common::Hertz;
+
+namespace {
+
+// Alpha-power-law delay model parameters for the 28-nm FDSOI router critical
+// path. V_t and alpha were fitted so the curvature matches the paper's
+// Fig. 5; the affine correction below pins the two published anchors.
+constexpr double kVt = 0.42;
+constexpr double kAlpha = 1.25;
+constexpr double kVLow = 0.56;   // anchor: 333 MHz
+constexpr double kVHigh = 0.90;  // anchor: 1 GHz
+constexpr double kFLow = 333e6;
+constexpr double kFHigh = 1e9;
+
+double raw_alpha_power(double v) { return std::pow(v - kVt, kAlpha) / v; }
+
+}  // namespace
+
+VfCurve VfCurve::fdsoi28() {
+  const double raw_lo = raw_alpha_power(kVLow);
+  const double raw_hi = raw_alpha_power(kVHigh);
+  // Affine map raw -> Hz pinning (kVLow, kFLow) and (kVHigh, kFHigh).
+  const double scale = (kFHigh - kFLow) / (raw_hi - raw_lo);
+  const double offset = kFLow - scale * raw_lo;
+
+  std::vector<VfPoint> pts;
+  constexpr int kSteps = 34;  // 10 mV resolution over [0.56, 0.90]
+  pts.reserve(kSteps + 1);
+  for (int i = 0; i <= kSteps; ++i) {
+    const double v = kVLow + (kVHigh - kVLow) * static_cast<double>(i) / kSteps;
+    pts.push_back({v, scale * raw_alpha_power(v) + offset});
+  }
+  return VfCurve(std::move(pts));
+}
+
+VfCurve::VfCurve(std::vector<VfPoint> points) : points_(std::move(points)) {
+  if (points_.size() < 2) throw std::invalid_argument("VfCurve: need at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i].vdd > points_[i - 1].vdd) || !(points_[i].f_max > points_[i - 1].f_max)) {
+      throw std::invalid_argument("VfCurve: points must be strictly increasing in V and F");
+    }
+  }
+  if (!(points_.front().vdd > 0.0) || !(points_.front().f_max > 0.0)) {
+    throw std::invalid_argument("VfCurve: voltages and frequencies must be positive");
+  }
+}
+
+Hertz VfCurve::frequency_at(double v) const noexcept {
+  if (v <= points_.front().vdd) return points_.front().f_max;
+  if (v >= points_.back().vdd) return points_.back().f_max;
+  auto it = std::lower_bound(points_.begin(), points_.end(), v,
+                             [](const VfPoint& p, double vv) { return p.vdd < vv; });
+  const VfPoint& hi = *it;
+  const VfPoint& lo = *(it - 1);
+  const double t = (v - lo.vdd) / (hi.vdd - lo.vdd);
+  return lo.f_max + t * (hi.f_max - lo.f_max);
+}
+
+double VfCurve::voltage_for(Hertz f) const noexcept {
+  if (f <= points_.front().f_max) return points_.front().vdd;
+  if (f >= points_.back().f_max) return points_.back().vdd;
+  auto it = std::lower_bound(points_.begin(), points_.end(), f,
+                             [](const VfPoint& p, Hertz ff) { return p.f_max < ff; });
+  const VfPoint& hi = *it;
+  const VfPoint& lo = *(it - 1);
+  const double t = (f - lo.f_max) / (hi.f_max - lo.f_max);
+  return lo.vdd + t * (hi.vdd - lo.vdd);
+}
+
+Hertz VfCurve::clamp_frequency(Hertz f) const noexcept {
+  return std::clamp(f, f_min(), f_max());
+}
+
+VfCurve VfCurve::quantized(std::size_t levels) const {
+  if (levels < 2) throw std::invalid_argument("VfCurve::quantized: need at least 2 levels");
+  VfCurve copy(points_);
+  copy.levels_.reserve(levels);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(levels - 1);
+    copy.levels_.push_back(f_min() + t * (f_max() - f_min()));
+  }
+  return copy;
+}
+
+Hertz VfCurve::snap_frequency(Hertz f) const noexcept {
+  if (levels_.empty()) return clamp_frequency(f);
+  const Hertz clamped = clamp_frequency(f);
+  // Round up: the snapped frequency must be >= the request so the policy's
+  // throughput/delay guarantee still holds at the discrete level.
+  auto it = std::lower_bound(levels_.begin(), levels_.end(), clamped - 1.0 /*Hz slack*/);
+  NOCDVFS_ASSERT(it != levels_.end(), "snap_frequency: clamped value above top level");
+  return *it;
+}
+
+}  // namespace nocdvfs::power

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file vf_curve.hpp
+/// Voltage–frequency characteristic of the router critical path.
+///
+/// The paper extracts this curve (its Fig. 5) from transistor-level Eldo
+/// simulations of the synthesized router netlist in 28-nm FDSOI. We
+/// substitute an alpha-power-law model
+///
+///     F_raw(V) = k · (V − V_t)^α / V
+///
+/// pinned by an affine correction so that the paper's two anchors hold
+/// exactly: F(0.56 V) = 333 MHz and F(0.90 V) = 1 GHz. The curve is
+/// tabulated and both directions — max frequency at a voltage, minimum
+/// voltage for a frequency — are answered by monotone interpolation.
+///
+/// `quantized(n)` returns a copy restricted to `n` evenly spaced discrete
+/// frequency levels, used by the discrete-DVFS ablation (the paper's
+/// footnote 2 claims results are insensitive to discretization).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nocdvfs::power {
+
+struct VfPoint {
+  double vdd;             ///< supply voltage [V]
+  common::Hertz f_max;    ///< max stable clock at that voltage [Hz]
+};
+
+class VfCurve {
+ public:
+  /// Default 28-nm FDSOI-style curve matching the paper's Fig. 5 anchors.
+  static VfCurve fdsoi28();
+
+  /// Build from explicit points (sorted by voltage, strictly increasing in
+  /// both coordinates). Throws std::invalid_argument otherwise.
+  explicit VfCurve(std::vector<VfPoint> points);
+
+  double v_min() const noexcept { return points_.front().vdd; }
+  double v_max() const noexcept { return points_.back().vdd; }
+  common::Hertz f_min() const noexcept { return points_.front().f_max; }
+  common::Hertz f_max() const noexcept { return points_.back().f_max; }
+
+  /// Max frequency sustainable at voltage `v` (clamped to table range).
+  common::Hertz frequency_at(double v) const noexcept;
+
+  /// Minimum voltage at which frequency `f` is sustainable (clamped).
+  double voltage_for(common::Hertz f) const noexcept;
+
+  /// Clamp a frequency request into [f_min, f_max].
+  common::Hertz clamp_frequency(common::Hertz f) const noexcept;
+
+  /// Copy with the frequency axis quantized to `levels` evenly spaced
+  /// points between f_min and f_max (levels >= 2). `snap_frequency` then
+  /// rounds requests *up* to the next level (must still meet timing).
+  VfCurve quantized(std::size_t levels) const;
+
+  /// Round `f` up to the nearest discrete level if quantized; identity
+  /// otherwise.
+  common::Hertz snap_frequency(common::Hertz f) const noexcept;
+
+  bool is_quantized() const noexcept { return !levels_.empty(); }
+  const std::vector<common::Hertz>& levels() const noexcept { return levels_; }
+  const std::vector<VfPoint>& points() const noexcept { return points_; }
+
+ private:
+  std::vector<VfPoint> points_;         // sorted by vdd ascending
+  std::vector<common::Hertz> levels_;   // empty => continuous tuning
+};
+
+}  // namespace nocdvfs::power

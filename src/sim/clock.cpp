@@ -1,0 +1,45 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace nocdvfs::sim {
+
+using common::Picoseconds;
+
+DualClock::DualClock(common::Hertz f_node, common::Hertz f_noc)
+    : f_node_(f_node),
+      f_noc_(f_noc),
+      node_period_(common::period_ps_from_hz(f_node)),
+      noc_period_(common::period_ps_from_hz(f_noc)) {
+  next_node_ = node_period_;
+  next_noc_ = noc_period_;
+}
+
+DualClock::Edge DualClock::advance() {
+  const Picoseconds t = std::min(next_node_, next_noc_);
+  NOCDVFS_ASSERT(t > now_, "clock failed to advance");
+  now_ = t;
+  Edge edge;
+  if (next_node_ == t) {
+    edge.node = true;
+    ++node_cycles_;
+    next_node_ += node_period_;
+  }
+  if (next_noc_ == t) {
+    edge.noc = true;
+    ++noc_cycles_;
+    next_noc_ += noc_period_;
+  }
+  return edge;
+}
+
+void DualClock::set_noc_frequency(common::Hertz f) {
+  // The pending edge keeps its instant (the cycle in flight completes at
+  // the old rate); subsequent cycles use the new period.
+  noc_period_ = common::period_ps_from_hz(f);
+  f_noc_ = f;
+}
+
+}  // namespace nocdvfs::sim

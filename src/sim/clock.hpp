@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file clock.hpp
+/// Dual clock domains on a single integer-picosecond timeline — the
+/// decoupling of node clock and NoC clock that the paper added to BookSim.
+///
+/// The node domain is fixed; the NoC domain is retuned by the DVFS
+/// controller. `advance()` jumps to the next clock edge (possibly both
+/// domains at the same instant) and reports which domain(s) fired; the
+/// caller processes node-domain work (traffic generation, control updates)
+/// before the NoC cycle when both coincide.
+///
+/// A frequency change leaves the already-scheduled NoC edge in place and
+/// applies the new period from the following edge — a glitch-free clock
+/// switch; the PLL relock time is assumed hidden, as in the paper.
+
+#include "common/units.hpp"
+
+namespace nocdvfs::sim {
+
+class DualClock {
+ public:
+  DualClock(common::Hertz f_node, common::Hertz f_noc);
+
+  struct Edge {
+    bool node = false;
+    bool noc = false;
+  };
+
+  /// Advance to the next edge instant and report which domains fired.
+  Edge advance();
+
+  common::Picoseconds now() const noexcept { return now_; }
+  std::uint64_t node_cycles() const noexcept { return node_cycles_; }
+  std::uint64_t noc_cycles() const noexcept { return noc_cycles_; }
+
+  common::Hertz node_frequency() const noexcept { return f_node_; }
+  common::Hertz noc_frequency() const noexcept { return f_noc_; }
+  common::Picoseconds noc_period_ps() const noexcept { return noc_period_; }
+
+  /// Retune the NoC domain; takes effect after the pending NoC edge.
+  void set_noc_frequency(common::Hertz f);
+
+ private:
+  common::Hertz f_node_;
+  common::Hertz f_noc_;
+  common::Picoseconds node_period_;
+  common::Picoseconds noc_period_;
+  common::Picoseconds now_ = 0;
+  common::Picoseconds next_node_ = 0;
+  common::Picoseconds next_noc_ = 0;
+  std::uint64_t node_cycles_ = 0;
+  std::uint64_t noc_cycles_ = 0;
+};
+
+}  // namespace nocdvfs::sim

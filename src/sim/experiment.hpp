@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file experiment.hpp
+/// One-shot experiment runner shared by tests, examples and every bench:
+/// a declarative config (network, workload, policy, phases) in; a
+/// RunResult out. This is the reproduction of the paper's experimental
+/// methodology — each figure is a sweep over these configs.
+
+#include <memory>
+#include <string>
+
+#include "apps/task_graph.hpp"
+#include "dvfs/controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace nocdvfs::sim {
+
+enum class Policy { NoDvfs, Rmsd, RmsdClosed, Dmsd, Qbsd };
+
+const char* to_string(Policy policy) noexcept;
+Policy policy_from_string(const std::string& name);
+
+/// Policy parameters (only the fields relevant to the chosen policy are
+/// read: lambda_max for RMSD, target/gains for DMSD).
+struct PolicyConfig {
+  Policy policy = Policy::NoDvfs;
+  double lambda_max = 0.378;      ///< RMSD target network load (flits/noc-cycle/node)
+  double target_delay_ns = 150.0; ///< DMSD delay target
+  double ki = 0.025;              ///< paper's integral gain
+  double kp = 0.0125;             ///< paper's proportional gain
+  double occupancy_setpoint = 0.15;  ///< QBSD buffer-occupancy target (fraction)
+};
+
+std::unique_ptr<dvfs::DvfsController> make_controller(const PolicyConfig& cfg);
+
+/// Synthetic-traffic experiment (the paper's Secs. III–V).
+struct ExperimentConfig {
+  noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
+  int packet_size = 20;
+  std::string pattern = "uniform";
+  std::string process = "bernoulli";
+  double lambda = 0.1;  ///< offered flits per node cycle per node
+  double hotspot_fraction = 0.2;
+
+  PolicyConfig policy{};
+  std::uint64_t control_period = 10000;  ///< node cycles (paper: 10 000)
+  common::Hertz f_node = 1e9;
+  int vf_levels = 0;  ///< 0 = continuous frequency tuning, else discrete levels
+  int flit_bits = 128;
+  std::uint64_t seed = 1;
+  RunPhases phases{};
+};
+
+RunResult run_synthetic_experiment(const ExperimentConfig& cfg);
+
+/// Multimedia (task-graph) experiment (the paper's Sec. VI).
+struct AppExperimentConfig {
+  std::string app = "h264";    ///< "h264" (4×4) or "vce" (5×5)
+  double speed = 1.0;          ///< relative to 75 frames/s
+  double traffic_scale = 1.0;  ///< calibration multiplier on the rate matrix
+  int packet_size = 20;
+  int num_vcs = 8;
+  int vc_buffer_depth = 4;
+
+  PolicyConfig policy{};
+  std::uint64_t control_period = 10000;
+  common::Hertz f_node = 1e9;
+  int vf_levels = 0;
+  int flit_bits = 128;
+  std::uint64_t seed = 1;
+  RunPhases phases{};
+};
+
+RunResult run_app_experiment(const AppExperimentConfig& cfg);
+
+/// Escape hatch for workloads beyond the declarative configs (request–
+/// reply, step loads, custom matrices): assemble a simulator around a
+/// caller-provided traffic model and run the standard phase protocol.
+RunResult run_custom_experiment(const SimulatorConfig& sim_cfg,
+                                std::unique_ptr<traffic::TrafficModel> traffic_model,
+                                const PolicyConfig& policy, int vf_levels,
+                                const RunPhases& phases);
+
+/// The task graph behind an app name; throws std::invalid_argument for
+/// unknown names.
+apps::TaskGraph app_graph(const std::string& app);
+
+/// Mean offered load (flits/node-cycle/node) of an app configuration — the
+/// quantity the multimedia benches report alongside the speed axis.
+double app_mean_lambda(const AppExperimentConfig& cfg);
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Result record of one simulation run — everything the paper's figures
+/// plot (delay in ns, latency in NoC cycles, power, frequency) plus the
+/// diagnostics the harness uses (saturation flags, controller settling).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dvfs/dvfs_manager.hpp"
+#include "power/power_model.hpp"
+
+namespace nocdvfs::sim {
+
+/// One control window's worth of observations: the trace a transient
+/// analysis (load steps, PI settling) reads.
+struct WindowSample {
+  common::Picoseconds t = 0;        ///< window end instant
+  double avg_delay_ns = 0.0;        ///< mean delay of packets ejected in the window
+  std::uint64_t packets = 0;
+  common::Hertz f_applied = 0.0;    ///< frequency in force after the update
+};
+
+struct RunResult {
+  // --- offered load ---
+  double offered_lambda = 0.0;           ///< nominal, flits/node-cycle/node
+  double measured_offered_lambda = 0.0;  ///< generated during measurement
+
+  // --- measurement window extent ---
+  std::uint64_t measure_node_cycles = 0;
+  std::uint64_t measure_noc_cycles = 0;
+  common::Picoseconds measure_duration_ps = 0;
+
+  // --- packet delay / latency ---
+  std::uint64_t packets_delivered = 0;
+  double avg_delay_ns = 0.0;
+  double min_delay_ns = 0.0;
+  double max_delay_ns = 0.0;
+  double p50_delay_ns = 0.0;
+  double p95_delay_ns = 0.0;
+  double p99_delay_ns = 0.0;
+  double avg_latency_cycles = 0.0;  ///< in NoC clock cycles
+  double avg_hops = 0.0;
+
+  /// Per-traffic-class delay split. Class 1 carries round-trip-stamped
+  /// replies in the request–reply workload; zero counts mean the class was
+  /// absent.
+  double avg_class0_delay_ns = 0.0;
+  std::uint64_t class0_packets = 0;
+  double avg_class1_delay_ns = 0.0;
+  std::uint64_t class1_packets = 0;
+
+  // --- throughput ---
+  double delivered_flits_per_node_cycle = 0.0;  ///< per node
+  double delivered_flits_per_noc_cycle = 0.0;   ///< per node
+
+  /// Mean router-buffer occupancy over the measurement, as a fraction of
+  /// total capacity (the QBSD sensing channel, reported for calibration).
+  double avg_buffer_occupancy = 0.0;
+
+  // --- DVFS actuation ---
+  double avg_frequency_hz = 0.0;  ///< time-weighted over the measurement
+  double avg_voltage = 0.0;       ///< time-weighted over the measurement
+  common::Hertz final_frequency_hz = 0.0;
+  std::vector<dvfs::VfTracePoint> vf_trace;  ///< full run actuation trace
+  std::vector<WindowSample> window_trace;    ///< one sample per control window
+
+  // --- power ---
+  power::PowerBreakdown power;
+
+  // --- diagnostics ---
+  bool saturated = false;
+  std::int64_t backlog_growth_flits = 0;
+  std::uint64_t warmup_node_cycles_used = 0;
+  bool controller_settled = true;
+
+  double avg_frequency_ghz() const noexcept { return avg_frequency_hz * 1e-9; }
+  double power_mw() const noexcept { return power.average_power_mw(); }
+};
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,54 @@
+#include "sim/replication.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace nocdvfs::sim {
+
+namespace {
+
+ReplicatedMetric aggregate(const common::RunningStats& s) {
+  ReplicatedMetric m;
+  m.mean = s.mean();
+  m.stddev = std::sqrt(s.sample_variance());
+  m.ci95_half_width =
+      s.count() > 1 ? 1.96 * m.stddev / std::sqrt(static_cast<double>(s.count())) : 0.0;
+  m.min = s.min();
+  m.max = s.max();
+  return m;
+}
+
+}  // namespace
+
+ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
+                                     std::uint64_t base_seed) {
+  if (replications < 1) {
+    throw std::invalid_argument("replicate_synthetic: need at least one replication");
+  }
+  ReplicatedResult out;
+  out.replications = replications;
+  out.runs.reserve(static_cast<std::size_t>(replications));
+
+  common::RunningStats delay, latency, power, freq, delivered;
+  for (int i = 0; i < replications; ++i) {
+    ExperimentConfig run_cfg = cfg;
+    run_cfg.seed = base_seed + static_cast<std::uint64_t>(i);
+    RunResult r = run_synthetic_experiment(run_cfg);
+    delay.add(r.avg_delay_ns);
+    latency.add(r.avg_latency_cycles);
+    power.add(r.power_mw());
+    freq.add(r.avg_frequency_ghz());
+    delivered.add(r.delivered_flits_per_node_cycle);
+    out.runs.push_back(std::move(r));
+  }
+  out.delay_ns = aggregate(delay);
+  out.latency_cycles = aggregate(latency);
+  out.power_mw = aggregate(power);
+  out.frequency_ghz = aggregate(freq);
+  out.delivered_lambda = aggregate(delivered);
+  return out;
+}
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file replication.hpp
+/// Multi-seed replication: run the same experiment across independent
+/// seeds and report mean / stddev / 95% confidence half-width for the
+/// headline metrics. A single cycle-accurate run is one sample of a
+/// stochastic process; publication-grade comparisons (and regression
+/// gates in CI) need the spread.
+
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace nocdvfs::sim {
+
+/// Aggregate of one metric across replications.
+struct ReplicatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half_width = 0.0;  ///< 1.96·stddev/√n (normal approximation)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ReplicatedResult {
+  int replications = 0;
+  ReplicatedMetric delay_ns;
+  ReplicatedMetric latency_cycles;
+  ReplicatedMetric power_mw;
+  ReplicatedMetric frequency_ghz;
+  ReplicatedMetric delivered_lambda;
+  std::vector<RunResult> runs;  ///< the raw samples, in seed order
+};
+
+/// Run `cfg` under seeds base_seed, base_seed+1, ... and aggregate.
+/// Throws std::invalid_argument for replications < 1.
+ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
+                                     std::uint64_t base_seed = 1);
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,99 @@
+#include "sim/saturation.hpp"
+
+#include <stdexcept>
+
+namespace nocdvfs::sim {
+
+namespace {
+
+RunPhases probe_phases(const SaturationSearchOptions& opt) {
+  RunPhases phases;
+  phases.warmup_node_cycles = opt.warmup_node_cycles;
+  phases.measure_node_cycles = opt.measure_node_cycles;
+  phases.adaptive_warmup = false;
+  return phases;
+}
+
+void validate(const SaturationSearchOptions& opt) {
+  if (!(opt.lo > 0.0) || !(opt.hi > opt.lo)) {
+    throw std::invalid_argument("saturation search: need 0 < lo < hi");
+  }
+  if (!(opt.resolution > 0.0)) {
+    throw std::invalid_argument("saturation search: resolution must be positive");
+  }
+  if (opt.latency_knee_factor < 0.0) {
+    throw std::invalid_argument("saturation search: latency_knee_factor must be >= 0");
+  }
+}
+
+/// Generic bisection: `hi` known saturated, `lo` known not; returns the
+/// highest unsaturated point to within `resolution`.
+template <typename SaturatedAt>
+double bisect(double lo, double hi, double resolution, SaturatedAt&& saturated_at) {
+  if (!saturated_at(hi)) return hi;
+  if (saturated_at(lo)) return lo;
+  while (hi - lo > resolution) {
+    const double mid = 0.5 * (lo + hi);
+    (saturated_at(mid) ? hi : lo) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+double find_saturation_rate(ExperimentConfig base, const SaturationSearchOptions& opt) {
+  validate(opt);
+  base.policy.policy = Policy::NoDvfs;
+  base.phases = probe_phases(opt);
+
+  // Zero-load latency reference for the knee criterion.
+  double knee_latency_cycles = 0.0;
+  if (opt.latency_knee_factor > 0.0) {
+    ExperimentConfig probe = base;
+    probe.lambda = opt.zero_load_lambda;
+    knee_latency_cycles =
+        opt.latency_knee_factor * run_synthetic_experiment(probe).avg_latency_cycles;
+  }
+
+  auto saturated_at = [&](double lambda) {
+    // Loads beyond one flit per node cycle cannot even be generated.
+    if (lambda / base.packet_size > 1.0) return true;
+    ExperimentConfig probe = base;
+    probe.lambda = lambda;
+    const RunResult r = run_synthetic_experiment(probe);
+    if (r.saturated) return true;
+    return knee_latency_cycles > 0.0 && r.avg_latency_cycles > knee_latency_cycles;
+  };
+  return bisect(opt.lo, opt.hi, opt.resolution, saturated_at);
+}
+
+double find_app_saturation_speed(AppExperimentConfig base, const SaturationSearchOptions& opt) {
+  validate(opt);
+  base.policy.policy = Policy::NoDvfs;
+  base.phases = probe_phases(opt);
+
+  double knee_latency_cycles = 0.0;
+  if (opt.latency_knee_factor > 0.0) {
+    AppExperimentConfig probe = base;
+    probe.speed = opt.zero_load_lambda;  // interpreted as a low relative speed
+    knee_latency_cycles =
+        opt.latency_knee_factor * run_app_experiment(probe).avg_latency_cycles;
+  }
+
+  auto saturated_at = [&](double speed) {
+    AppExperimentConfig probe = base;
+    probe.speed = speed;
+    // MatrixTraffic rejects speeds that exceed one packet per node cycle at
+    // any source — definitionally saturated.
+    try {
+      const RunResult r = run_app_experiment(probe);
+      if (r.saturated) return true;
+      return knee_latency_cycles > 0.0 && r.avg_latency_cycles > knee_latency_cycles;
+    } catch (const std::invalid_argument&) {
+      return true;
+    }
+  };
+  return bisect(opt.lo, opt.hi, opt.resolution, saturated_at);
+}
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,269 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace nocdvfs::sim {
+
+using common::Picoseconds;
+
+namespace {
+
+/// Round `cycles` up to the next multiple of `period` (at least one period):
+/// phase boundaries must coincide with control updates.
+std::uint64_t round_up_to_period(std::uint64_t cycles, std::uint64_t period) {
+  if (cycles == 0) return period;
+  return ((cycles + period - 1) / period) * period;
+}
+
+power::RouterGeometry geometry_from(const noc::NetworkConfig& net, int flit_bits) {
+  power::RouterGeometry g;
+  g.num_ports = noc::kMeshPorts;
+  g.num_vcs = net.num_vcs;
+  g.buffer_depth = net.vc_buffer_depth;
+  g.flit_bits = flit_bits;
+  return g;
+}
+
+}  // namespace
+
+Simulator::Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::TrafficModel> traffic,
+                     std::unique_ptr<dvfs::DvfsController> controller, power::VfCurve curve)
+    : cfg_(cfg),
+      net_(cfg.network),
+      traffic_(std::move(traffic)),
+      dvfs_(std::move(controller), std::move(curve), cfg.f_node,
+            cfg.control_period_node_cycles),
+      energy_(geometry_from(cfg.network, cfg.flit_bits), cfg.energy_params),
+      clock_(cfg.f_node, dvfs_.f_max()) {
+  if (!traffic_) throw std::invalid_argument("Simulator: null traffic model");
+}
+
+RunResult Simulator::run(const RunPhases& phases) {
+  const std::uint64_t period = dvfs_.control_period_node_cycles();
+  const std::uint64_t warmup_target = round_up_to_period(phases.warmup_node_cycles, period);
+  const std::uint64_t max_warmup =
+      std::max(round_up_to_period(phases.max_warmup_node_cycles, period), warmup_target);
+  const std::uint64_t measure_span = round_up_to_period(phases.measure_node_cycles, period);
+
+  power::PowerAccumulator power_acc(energy_, net_.inventory());
+
+  // --- controller window state ---
+  double window_delay_sum_ns = 0.0;
+  std::uint64_t window_packets = 0;
+  std::uint64_t window_start_gen = 0;
+  std::uint64_t window_start_inj = 0;
+  std::uint64_t window_start_noc_cycles = 0;
+  std::uint64_t window_occupancy_sum = 0;  ///< Σ buffered flits, one sample per NoC cycle
+  const double buffer_capacity = static_cast<double>(net_.buffer_capacity_flits());
+
+  // --- settle detection ---
+  std::deque<double> recent_freqs;
+  auto settled = [&]() {
+    if (static_cast<int>(recent_freqs.size()) < phases.settle_windows) return false;
+    const auto [lo, hi] = std::minmax_element(recent_freqs.begin(), recent_freqs.end());
+    return (*hi - *lo) <= phases.settle_tol * (*hi);
+  };
+
+  // --- measurement state ---
+  bool measuring = false;
+  std::uint64_t measure_start_node = 0;
+  std::uint64_t measure_start_noc = 0;
+  Picoseconds measure_start_ps = 0;
+  std::uint64_t measure_start_gen = 0;
+  std::uint64_t measure_start_ej = 0;
+  std::uint64_t measure_start_backlog = 0;
+  std::uint64_t measure_occupancy_sum = 0;
+  common::RunningStats delay_stats;
+  common::RunningStats latency_stats;
+  common::RunningStats hops_stats;
+  common::RunningStats class_delay_stats[2];
+  common::Histogram delay_hist(0.0, 8000.0, 2000);
+  common::TimeWeightedAverage freq_avg;
+  common::TimeWeightedAverage volt_avg;
+
+  RunResult result;
+  result.offered_lambda = traffic_->offered_flits_per_node_cycle();
+
+  const int n_nodes = net_.num_nodes();
+
+  auto process_delivered = [&]() {
+    if (net_.delivered().empty()) return;
+    for (const auto& rec : net_.delivered()) {
+      const double d_ns = rec.delay_ns();
+      window_delay_sum_ns += d_ns;
+      ++window_packets;
+      if (measuring) {
+        delay_stats.add(d_ns);
+        latency_stats.add(static_cast<double>(rec.latency_cycles()));
+        hops_stats.add(static_cast<double>(rec.hops));
+        delay_hist.add(d_ns);
+        class_delay_stats[rec.traffic_class == 0 ? 0 : 1].add(d_ns);
+      }
+      // Closed-loop workloads (request–reply) react to deliveries.
+      traffic_->on_packet_delivered(rec, clock_.now());
+    }
+    net_.delivered().clear();
+  };
+
+  auto do_control_update = [&]() {
+    dvfs::WindowMeasurements m;
+    m.window_node_cycles = period;
+    m.window_noc_cycles = clock_.noc_cycles() - window_start_noc_cycles;
+    const std::uint64_t gen = net_.total_flits_generated();
+    const std::uint64_t inj = net_.total_flits_injected();
+    m.lambda_node_offered = static_cast<double>(gen - window_start_gen) /
+                            (static_cast<double>(n_nodes) * static_cast<double>(period));
+    m.lambda_noc_injected =
+        m.window_noc_cycles > 0
+            ? static_cast<double>(inj - window_start_inj) /
+                  (static_cast<double>(n_nodes) * static_cast<double>(m.window_noc_cycles))
+            : 0.0;
+    m.packets_delivered = window_packets;
+    m.avg_delay_ns = window_packets > 0 ? window_delay_sum_ns / window_packets : 0.0;
+    m.avg_buffer_occupancy =
+        m.window_noc_cycles > 0
+            ? static_cast<double>(window_occupancy_sum) /
+                  (static_cast<double>(m.window_noc_cycles) * buffer_capacity)
+            : 0.0;
+
+    const common::Hertz before = dvfs_.current_frequency();
+    const common::Hertz applied = dvfs_.apply_update(clock_.now(), m);
+    if (std::abs(applied - before) > 1e3) {
+      clock_.set_noc_frequency(applied);
+      if (measuring) {
+        power_acc.change_operating_point(clock_.now(), net_.total_activity(),
+                                         clock_.noc_cycles(), dvfs_.current_voltage(), applied);
+        freq_avg.set(common::seconds_from_ps(clock_.now()), applied);
+        volt_avg.set(common::seconds_from_ps(clock_.now()), dvfs_.current_voltage());
+      }
+    }
+    recent_freqs.push_back(applied);
+    while (static_cast<int>(recent_freqs.size()) > phases.settle_windows) {
+      recent_freqs.pop_front();
+    }
+    result.window_trace.push_back(
+        {clock_.now(), m.avg_delay_ns, m.packets_delivered, applied});
+
+    window_start_gen = gen;
+    window_start_inj = inj;
+    window_start_noc_cycles = clock_.noc_cycles();
+    window_delay_sum_ns = 0.0;
+    window_packets = 0;
+    window_occupancy_sum = 0;
+  };
+
+  auto begin_measurement = [&]() {
+    measuring = true;
+    measure_start_node = clock_.node_cycles();
+    measure_start_noc = clock_.noc_cycles();
+    measure_start_ps = clock_.now();
+    measure_start_gen = net_.total_flits_generated();
+    measure_start_ej = net_.total_flits_ejected();
+    measure_start_backlog = net_.total_source_backlog_flits();
+    power_acc.start(clock_.now(), net_.total_activity(), clock_.noc_cycles(),
+                    dvfs_.current_voltage(), dvfs_.current_frequency());
+    freq_avg.set(common::seconds_from_ps(clock_.now()), dvfs_.current_frequency());
+    volt_avg.set(common::seconds_from_ps(clock_.now()), dvfs_.current_voltage());
+    result.warmup_node_cycles_used = clock_.node_cycles();
+    result.controller_settled = settled() || !phases.adaptive_warmup;
+  };
+
+  auto finalize = [&]() {
+    power_acc.stop(clock_.now(), net_.total_activity(), clock_.noc_cycles());
+    result.power = power_acc.breakdown();
+    result.measure_node_cycles = clock_.node_cycles() - measure_start_node;
+    result.measure_noc_cycles = clock_.noc_cycles() - measure_start_noc;
+    result.measure_duration_ps = clock_.now() - measure_start_ps;
+
+    result.packets_delivered = delay_stats.count();
+    result.avg_delay_ns = delay_stats.mean();
+    result.min_delay_ns = delay_stats.min();
+    result.max_delay_ns = delay_stats.max();
+    result.p50_delay_ns = delay_hist.quantile(0.50);
+    result.p95_delay_ns = delay_hist.quantile(0.95);
+    result.p99_delay_ns = delay_hist.quantile(0.99);
+    result.avg_latency_cycles = latency_stats.mean();
+    result.avg_hops = hops_stats.mean();
+    result.avg_class0_delay_ns = class_delay_stats[0].mean();
+    result.class0_packets = class_delay_stats[0].count();
+    result.avg_class1_delay_ns = class_delay_stats[1].mean();
+    result.class1_packets = class_delay_stats[1].count();
+
+    const std::uint64_t gen_delta = net_.total_flits_generated() - measure_start_gen;
+    const std::uint64_t ej_delta = net_.total_flits_ejected() - measure_start_ej;
+    result.measured_offered_lambda =
+        static_cast<double>(gen_delta) /
+        (static_cast<double>(n_nodes) * static_cast<double>(result.measure_node_cycles));
+    result.delivered_flits_per_node_cycle =
+        static_cast<double>(ej_delta) /
+        (static_cast<double>(n_nodes) * static_cast<double>(result.measure_node_cycles));
+    result.delivered_flits_per_noc_cycle =
+        result.measure_noc_cycles > 0
+            ? static_cast<double>(ej_delta) /
+                  (static_cast<double>(n_nodes) * static_cast<double>(result.measure_noc_cycles))
+            : 0.0;
+    result.avg_buffer_occupancy =
+        result.measure_noc_cycles > 0
+            ? static_cast<double>(measure_occupancy_sum) /
+                  (static_cast<double>(result.measure_noc_cycles) * buffer_capacity)
+            : 0.0;
+
+    result.avg_frequency_hz = freq_avg.average(common::seconds_from_ps(clock_.now()));
+    result.avg_voltage = volt_avg.average(common::seconds_from_ps(clock_.now()));
+    result.final_frequency_hz = dvfs_.current_frequency();
+    result.vf_trace = dvfs_.trace();
+
+    const std::uint64_t backlog_end = net_.total_source_backlog_flits();
+    result.backlog_growth_flits = static_cast<std::int64_t>(backlog_end) -
+                                  static_cast<std::int64_t>(measure_start_backlog);
+    // Saturated: the source queues grew materially (more than ~5% of the
+    // traffic generated, and more than transient jitter of a couple of
+    // packets per node), or delivery lagged generation by > 5%.
+    const double growth_floor =
+        std::max(2.0 * n_nodes * 20.0, 0.05 * static_cast<double>(gen_delta));
+    const bool backlog_saturated =
+        static_cast<double>(result.backlog_growth_flits) > growth_floor;
+    const bool delivery_saturated =
+        gen_delta > 0 && static_cast<double>(ej_delta) < 0.95 * static_cast<double>(gen_delta);
+    result.saturated = backlog_saturated || delivery_saturated;
+  };
+
+  std::uint64_t measure_end_node = 0;
+  while (true) {
+    const auto edge = clock_.advance();
+    if (edge.node) {
+      traffic_->node_tick(clock_.now(), clock_.noc_cycles(), net_);
+      if (clock_.node_cycles() % period == 0) {
+        if (measuring && clock_.node_cycles() >= measure_end_node) {
+          finalize();
+          break;
+        }
+        do_control_update();
+        if (!measuring) {
+          const std::uint64_t cycles = clock_.node_cycles();
+          const bool warm = cycles >= warmup_target;
+          const bool ready = !phases.adaptive_warmup || settled() || cycles >= max_warmup;
+          if (warm && ready) {
+            begin_measurement();
+            measure_end_node = clock_.node_cycles() + measure_span;
+          }
+        }
+      }
+    }
+    if (edge.noc) {
+      net_.step(clock_.now());
+      const std::uint64_t occ = net_.buffered_flits_now();
+      window_occupancy_sum += occ;
+      if (measuring) measure_occupancy_sum += occ;
+      process_delivered();
+    }
+  }
+  return result;
+}
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Top-level simulation: composes the dual-clock kernel, the network, a
+/// traffic model, the DVFS manager and the power accumulator, and runs the
+/// two-phase (settle → measure) protocol every experiment uses.
+///
+/// Phase protocol:
+///  1. *Warmup/settle* — traffic and the DVFS control loop run, statistics
+///     are discarded. With adaptive warmup the phase extends until the
+///     controller's applied frequency is stable across a few consecutive
+///     windows (the PI loop of DMSD needs tens of windows to converge from
+///     cold start), bounded by `max_warmup_node_cycles`.
+///  2. *Measure* — packet delays, throughput, activity and (V, F) segments
+///     accumulate; the window always starts and ends on control-period
+///     boundaries so power segments align with actuations.
+///
+/// Saturation is flagged when the source backlog grows materially during
+/// the measurement or delivery falls short of generation — the conditions
+/// under which delay statistics stop converging.
+
+#include <memory>
+
+#include "dvfs/dvfs_manager.hpp"
+#include "noc/network.hpp"
+#include "power/energy_model.hpp"
+#include "power/power_model.hpp"
+#include "power/vf_curve.hpp"
+#include "sim/clock.hpp"
+#include "sim/metrics.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace nocdvfs::sim {
+
+struct SimulatorConfig {
+  noc::NetworkConfig network{};
+  common::Hertz f_node = 1e9;
+  std::uint64_t control_period_node_cycles = 10000;
+  int flit_bits = 128;
+  power::EnergyParams energy_params{};
+};
+
+struct RunPhases {
+  std::uint64_t warmup_node_cycles = 120000;
+  std::uint64_t measure_node_cycles = 100000;
+  bool adaptive_warmup = true;
+  std::uint64_t max_warmup_node_cycles = 800000;
+  /// Relative spread of applied frequency across `settle_windows`
+  /// consecutive control windows below which the controller is "settled".
+  double settle_tol = 0.02;
+  int settle_windows = 4;
+};
+
+class Simulator {
+ public:
+  Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::TrafficModel> traffic,
+            std::unique_ptr<dvfs::DvfsController> controller, power::VfCurve curve);
+
+  RunResult run(const RunPhases& phases);
+
+  noc::Network& network() noexcept { return net_; }
+  const noc::Network& network() const noexcept { return net_; }
+  const dvfs::DvfsManager& dvfs_manager() const noexcept { return dvfs_; }
+  const DualClock& clock() const noexcept { return clock_; }
+  const SimulatorConfig& config() const noexcept { return cfg_; }
+  const power::EnergyModel& energy_model() const noexcept { return energy_; }
+
+ private:
+  SimulatorConfig cfg_;
+  noc::Network net_;
+  std::unique_ptr<traffic::TrafficModel> traffic_;
+  dvfs::DvfsManager dvfs_;
+  power::EnergyModel energy_;
+  DualClock clock_;
+};
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file pattern.hpp
+/// Synthetic destination patterns (Dally & Towles conventions, matching
+/// BookSim's definitions). The paper evaluates uniform, tornado,
+/// bit-complement, transpose and neighbor; shuffle, bit-reverse, hotspot
+/// and a seeded random permutation are included for wider testing.
+///
+/// Permutation patterns are deterministic per source; `uniform` includes
+/// self-addressed packets (as BookSim does) — they still traverse the local
+/// router and exercise the injection/ejection path.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+
+namespace nocdvfs::traffic {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  virtual noc::NodeId pick(noc::NodeId src, common::Rng& rng) const = 0;
+  virtual bool deterministic() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+
+  /// Factory. Known names: uniform, tornado, bitcomp, transpose, neighbor,
+  /// shuffle, bitrev, hotspot, permutation. Throws std::invalid_argument on
+  /// unknown names or patterns incompatible with the topology (e.g.
+  /// transpose on a non-square mesh, shuffle on a non-power-of-two node
+  /// count).
+  static std::unique_ptr<TrafficPattern> create(const std::string& name,
+                                                const noc::MeshTopology& topo,
+                                                std::uint64_t seed = 1,
+                                                double hotspot_fraction = 0.2);
+
+  /// Names accepted by create(), in a stable order (for sweeps and --help).
+  static std::vector<std::string> known_patterns();
+
+  /// Mean hop distance of the pattern on `topo` (averaged over sources,
+  /// and over destinations for stochastic patterns) — used by tests and by
+  /// capacity sanity checks.
+  static double mean_hop_distance(const TrafficPattern& pattern, const noc::MeshTopology& topo,
+                                  common::Rng& rng, int samples_per_node = 200);
+};
+
+}  // namespace nocdvfs::traffic

@@ -1,0 +1,23 @@
+#include "traffic/step_load.hpp"
+
+namespace nocdvfs::traffic {
+
+StepLoadTraffic::StepLoadTraffic(const noc::MeshTopology& topo,
+                                 const SyntheticTrafficParams& before,
+                                 const SyntheticTrafficParams& after,
+                                 common::Picoseconds step_at_ps)
+    : before_(std::make_unique<SyntheticTraffic>(topo, before)),
+      after_(std::make_unique<SyntheticTraffic>(topo, after)),
+      step_at_ps_(step_at_ps) {}
+
+void StepLoadTraffic::node_tick(common::Picoseconds now, std::uint64_t noc_cycle,
+                                noc::Network& net) {
+  if (now < step_at_ps_) {
+    before_->node_tick(now, noc_cycle, net);
+  } else {
+    stepped_ = true;
+    after_->node_tick(now, noc_cycle, net);
+  }
+}
+
+}  // namespace nocdvfs::traffic

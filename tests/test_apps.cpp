@@ -1,0 +1,145 @@
+// Tests for the task-graph substrate and the two multimedia workloads of
+// the paper's Fig. 9.
+
+#include <gtest/gtest.h>
+
+#include "apps/app_graphs.hpp"
+#include "apps/task_graph.hpp"
+
+namespace nocdvfs::apps {
+namespace {
+
+TaskGraph tiny_graph() {
+  return TaskGraph("tiny", 2, 2,
+                   {{"a", {0, 0}}, {"b", {1, 0}}, {"c", {0, 1}}},
+                   {{0, 1, 10.0}, {1, 2, 5.0}});
+}
+
+TEST(TaskGraph, TotalsAndLookups) {
+  const TaskGraph g = tiny_graph();
+  EXPECT_DOUBLE_EQ(g.total_packets_per_frame(), 15.0);
+  EXPECT_EQ(g.task_index("b"), 1);
+  EXPECT_THROW(g.task_index("zz"), std::out_of_range);
+  EXPECT_EQ(g.placement_node(0), 0);
+  EXPECT_EQ(g.placement_node(2), 2);
+}
+
+TEST(TaskGraph, MeanHopsIsTrafficWeighted) {
+  const TaskGraph g = tiny_graph();
+  // a(0,0)->b(1,0): 1 hop ×10; b(1,0)->c(0,1): 2 hops ×5  → 20/15.
+  EXPECT_NEAR(g.mean_hops(), 20.0 / 15.0, 1e-12);
+}
+
+TEST(TaskGraph, RateMatrixScalesWithFps) {
+  const TaskGraph g = tiny_graph();
+  const auto rates = g.rate_matrix_pps(10.0);
+  EXPECT_DOUBLE_EQ(rates[0][1], 100.0);
+  EXPECT_DOUBLE_EQ(rates[1][2], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1][0], 0.0);
+  double total = 0.0;
+  for (const auto& row : rates) {
+    for (double r : row) total += r;
+  }
+  EXPECT_DOUBLE_EQ(total, 150.0);
+}
+
+TEST(TaskGraph, MeanLambdaMath) {
+  const TaskGraph g = tiny_graph();
+  // 15 packets/frame × 10 fps × 4 flits / (1e9 Hz × 4 nodes).
+  EXPECT_NEAR(g.mean_lambda(10.0, 4, 1e9), 150.0 * 4 / (1e9 * 4), 1e-18);
+}
+
+TEST(TaskGraph, ValidationRejectsBadInput) {
+  // Duplicate placement.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {{"a", {0, 0}}, {"b", {0, 0}}}, {}),
+               std::invalid_argument);
+  // Placement off-mesh.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {{"a", {2, 0}}}, {}), std::invalid_argument);
+  // More tasks than nodes.
+  EXPECT_THROW(TaskGraph("x", 2, 1,
+                         {{"a", {0, 0}}, {"b", {1, 0}}, {"c", {0, 0}}}, {}),
+               std::invalid_argument);
+  // Duplicate names.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {{"a", {0, 0}}, {"a", {1, 0}}}, {}),
+               std::invalid_argument);
+  // Edge to unknown task.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {{"a", {0, 0}}}, {{0, 3, 1.0}}),
+               std::invalid_argument);
+  // Self loop.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {{"a", {0, 0}}, {"b", {1, 0}}}, {{0, 0, 1.0}}),
+               std::invalid_argument);
+  // Non-positive weight.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {{"a", {0, 0}}, {"b", {1, 0}}}, {{0, 1, 0.0}}),
+               std::invalid_argument);
+  // No tasks at all.
+  EXPECT_THROW(TaskGraph("x", 2, 2, {}, {}), std::invalid_argument);
+}
+
+TEST(H264, GraphShapeMatchesFigure) {
+  const TaskGraph g = h264_encoder();
+  EXPECT_EQ(g.mesh_width(), 4);
+  EXPECT_EQ(g.mesh_height(), 4);
+  EXPECT_EQ(g.nodes().size(), 15u);  // 15 blocks on 16 nodes
+  EXPECT_EQ(g.edges().size(), 19u);  // 19 weights in Fig. 9(a)
+  // Sum of the figure's packets/frame annotations.
+  EXPECT_NEAR(g.total_packets_per_frame(), 4353.0, 1e-9);
+}
+
+TEST(H264, PipelineEdgesPresent) {
+  const TaskGraph g = h264_encoder();
+  const int yuv = g.task_index("yuv_generator");
+  const int pad = g.task_index("padding_mv");
+  bool found = false;
+  for (const auto& e : g.edges()) {
+    if (e.src_task == yuv && e.dst_task == pad) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.packets_per_frame, 840.0);  // the heaviest video edge
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Vce, GraphShapeMatchesFigure) {
+  const TaskGraph g = video_conference_encoder();
+  EXPECT_EQ(g.mesh_width(), 5);
+  EXPECT_EQ(g.mesh_height(), 5);
+  EXPECT_EQ(g.nodes().size(), 25u);  // fills the 5×5 mesh
+  EXPECT_EQ(g.edges().size(), 31u);  // 31 weights in Fig. 9(b)
+  EXPECT_GT(g.total_packets_per_frame(), 10.0 * h264_encoder().total_packets_per_frame())
+      << "VCE traffic is an order of magnitude above H.264 in the figure";
+}
+
+TEST(Vce, AudioAndVideoChainsConverge) {
+  const TaskGraph g = video_conference_encoder();
+  const int mux = g.task_index("stream_mux");
+  int into_mux = 0;
+  for (const auto& e : g.edges()) into_mux += (e.dst_task == mux) ? 1 : 0;
+  EXPECT_GE(into_mux, 3) << "entropy, sram, huffman all feed the mux";
+}
+
+TEST(AppGraphs, MappingsKeepHeavyEdgesShort) {
+  // The hand mapping should do clearly better than the worst case: the
+  // traffic-weighted mean hop distance stays under 2.5 for both apps.
+  EXPECT_LT(h264_encoder().mean_hops(), 2.5);
+  EXPECT_LT(video_conference_encoder().mean_hops(), 2.5);
+}
+
+TEST(AppGraphs, RateMatricesAreWellFormed) {
+  for (const TaskGraph& g : {h264_encoder(), video_conference_encoder()}) {
+    const auto rates = g.rate_matrix_pps(kReferenceFps);
+    const auto n = static_cast<std::size_t>(g.mesh_width() * g.mesh_height());
+    ASSERT_EQ(rates.size(), n);
+    double total = 0.0;
+    for (const auto& row : rates) {
+      ASSERT_EQ(row.size(), n);
+      for (double r : row) {
+        ASSERT_GE(r, 0.0);
+        total += r;
+      }
+    }
+    EXPECT_NEAR(total, g.total_packets_per_frame() * kReferenceFps, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace nocdvfs::apps

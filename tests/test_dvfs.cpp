@@ -1,0 +1,292 @@
+// Controller tests: the RMSD frequency law (Eq. 2 and the closed-loop
+// variant), the DMSD PI loop (tracking, stability, anti-windup, sample
+// hold), and the DvfsManager's clamping/snapping/tracing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dvfs/controller.hpp"
+#include "dvfs/dmsd.hpp"
+#include "dvfs/dvfs_manager.hpp"
+#include "dvfs/rmsd.hpp"
+#include "power/vf_curve.hpp"
+
+namespace nocdvfs::dvfs {
+namespace {
+
+ControlContext ctx() {
+  ControlContext c;
+  c.f_node = 1e9;
+  c.f_min = 333e6;
+  c.f_max = 1e9;
+  c.f_current = 1e9;
+  return c;
+}
+
+WindowMeasurements measurements(double lambda_node, double delay_ns = 0.0,
+                                std::uint64_t packets = 0) {
+  WindowMeasurements m;
+  m.lambda_node_offered = lambda_node;
+  m.avg_delay_ns = delay_ns;
+  m.packets_delivered = packets;
+  m.window_node_cycles = 10000;
+  m.window_noc_cycles = 10000;
+  return m;
+}
+
+// -------------------------------------------------------------- NoDvfs ----
+
+TEST(NoDvfs, AlwaysRequestsFmax) {
+  NoDvfsController c;
+  EXPECT_DOUBLE_EQ(c.update(ctx(), measurements(0.0)), 1e9);
+  EXPECT_DOUBLE_EQ(c.update(ctx(), measurements(0.9)), 1e9);
+}
+
+// ---------------------------------------------------------------- RMSD ----
+
+TEST(Rmsd, OpenLoopFollowsEq2) {
+  RmsdConfig cfg;
+  cfg.lambda_max = 0.4;
+  RmsdController c(cfg);
+  // F = F_node · λ_node / λ_max.
+  EXPECT_NEAR(c.update(ctx(), measurements(0.2)), 0.5e9, 1.0);
+  EXPECT_NEAR(c.update(ctx(), measurements(0.4)), 1.0e9, 1.0);
+  EXPECT_NEAR(c.update(ctx(), measurements(0.1)), 0.25e9, 1.0);
+  // Above λ_max the request exceeds F_max (manager clips).
+  EXPECT_GT(c.update(ctx(), measurements(0.6)), 1e9);
+  // Silent window → requests zero (manager clips to F_min).
+  EXPECT_DOUBLE_EQ(c.update(ctx(), measurements(0.0)), 0.0);
+}
+
+TEST(Rmsd, ClosedLoopConvergesToSameFixedPoint) {
+  RmsdConfig cfg;
+  cfg.lambda_max = 0.4;
+  cfg.mode = RmsdConfig::Mode::ClosedLoop;
+  RmsdController c(cfg);
+  // Plant: nodes offer λ_node = 0.2 at F_node = 1 GHz; at NoC frequency F
+  // the network sees λ_noc = λ_node · F_node / F. Iterate the loop.
+  const double lambda_node = 0.2;
+  ControlContext context = ctx();
+  for (int i = 0; i < 60; ++i) {
+    WindowMeasurements m = measurements(lambda_node);
+    m.lambda_noc_injected = lambda_node * context.f_node / context.f_current;
+    double f = c.update(context, m);
+    f = std::clamp(f, context.f_min, context.f_max);
+    context.f_current = f;
+  }
+  // Fixed point: F = F_node λ_node / λ_max = 0.5 GHz.
+  EXPECT_NEAR(context.f_current, 0.5e9, 5e6);
+}
+
+TEST(Rmsd, ClosedLoopSilentNetworkDropsToFmin) {
+  RmsdConfig cfg;
+  cfg.mode = RmsdConfig::Mode::ClosedLoop;
+  RmsdController c(cfg);
+  WindowMeasurements m = measurements(0.0);
+  m.lambda_noc_injected = 0.0;
+  EXPECT_DOUBLE_EQ(c.update(ctx(), m), ctx().f_min);
+}
+
+TEST(Rmsd, RejectsBadLambdaMax) {
+  RmsdConfig cfg;
+  cfg.lambda_max = 0.0;
+  EXPECT_THROW(RmsdController{cfg}, std::invalid_argument);
+  cfg.lambda_max = 1.5;
+  EXPECT_THROW(RmsdController{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- DMSD ----
+
+/// First-order plant for loop tests: at control fraction U the network
+/// shows delay D(U) = L0 / U ns (fixed latency in cycles, delay scales with
+/// the period). Target tracking means U* = L0 / D_target.
+double plant_delay(double u, double l0_ns = 60.0) { return l0_ns / u; }
+
+TEST(Dmsd, ConvergesToTargetOnStaticPlant) {
+  DmsdConfig cfg;
+  cfg.target_delay_ns = 150.0;
+  DmsdController c(cfg);
+  ControlContext context = ctx();
+  double u = 1.0;
+  for (int i = 0; i < 300; ++i) {
+    const double f = c.update(context, measurements(0.2, plant_delay(u), 100));
+    u = std::clamp(f / context.f_max, context.f_min / context.f_max, 1.0);
+    context.f_current = u * context.f_max;
+  }
+  // U* = 60/150 = 0.4; allow the loop's small steady ripple.
+  EXPECT_NEAR(u, 0.4, 0.02);
+  EXPECT_NEAR(plant_delay(u), 150.0, 8.0);
+}
+
+TEST(Dmsd, PaperGainsAreStableNoOscillationBlowup) {
+  DmsdConfig cfg;
+  cfg.target_delay_ns = 150.0;
+  DmsdController c(cfg);
+  ControlContext context = ctx();
+  double u = 1.0;
+  double max_swing = 0.0;
+  double prev_u = u;
+  for (int i = 0; i < 400; ++i) {
+    const double f = c.update(context, measurements(0.2, plant_delay(u), 100));
+    u = std::clamp(f / context.f_max, 1.0 / 3.0, 1.0);
+    if (i > 200) max_swing = std::max(max_swing, std::abs(u - prev_u));
+    prev_u = u;
+    context.f_current = u * context.f_max;
+  }
+  EXPECT_LT(max_swing, 0.02) << "steady-state ripple must be small";
+}
+
+TEST(Dmsd, AntiWindupRecoversQuickly) {
+  DmsdConfig cfg;
+  cfg.target_delay_ns = 100.0;
+  DmsdController c(cfg);
+  ControlContext context = ctx();
+  // Long saturated stretch: delay far above target pins U at 1.0.
+  for (int i = 0; i < 200; ++i) {
+    c.update(context, measurements(0.5, 5000.0, 100));
+  }
+  EXPECT_NEAR(c.control_variable(), 1.0, 1e-9);
+  // Plant relaxes: delay now far below target. Without integrator clamping
+  // the controller would stay pinned for ~hundreds of windows; with
+  // anti-windup it must move off the rail immediately.
+  c.update(context, measurements(0.1, 30.0, 100));
+  const double after_one = c.control_variable();
+  EXPECT_LT(after_one, 1.0 - 0.01);
+}
+
+TEST(Dmsd, SampleHoldWhenNoPackets) {
+  DmsdConfig cfg;
+  cfg.target_delay_ns = 100.0;
+  DmsdController c(cfg);
+  ControlContext context = ctx();
+  c.update(context, measurements(0.2, 200.0, 50));  // error = +1
+  const double u_after_first = c.control_variable();
+  // Empty window: previous error is held, so U keeps moving in the same
+  // direction by K_I·E (no proportional kick).
+  c.update(context, measurements(0.2, 0.0, 0));
+  EXPECT_NEAR(c.control_variable(), std::min(1.0, u_after_first + cfg.ki * 1.0), 1e-9);
+}
+
+TEST(Dmsd, ResetRestoresInitialState) {
+  DmsdConfig cfg;
+  DmsdController c(cfg);
+  ControlContext context = ctx();
+  for (int i = 0; i < 50; ++i) c.update(context, measurements(0.2, 30.0, 10));
+  EXPECT_LT(c.control_variable(), 1.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.control_variable(), cfg.u_init);
+  EXPECT_DOUBLE_EQ(c.last_error(), 0.0);
+}
+
+TEST(Dmsd, ValidationErrors) {
+  DmsdConfig cfg;
+  cfg.target_delay_ns = 0.0;
+  EXPECT_THROW(DmsdController{cfg}, std::invalid_argument);
+  cfg = DmsdConfig{};
+  cfg.ki = 0.0;
+  EXPECT_THROW(DmsdController{cfg}, std::invalid_argument);
+  cfg = DmsdConfig{};
+  cfg.kp = -1.0;
+  EXPECT_THROW(DmsdController{cfg}, std::invalid_argument);
+  cfg = DmsdConfig{};
+  cfg.u_init = 0.0;
+  EXPECT_THROW(DmsdController{cfg}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------- manager ----
+
+TEST(DvfsManager, ClampsIntoVfRange) {
+  DvfsManager mgr(std::make_unique<NoDvfsController>(), power::VfCurve::fdsoi28(), 1e9, 10000);
+  EXPECT_DOUBLE_EQ(mgr.current_frequency(), 1e9);
+
+  RmsdConfig rc;
+  rc.lambda_max = 0.4;
+  DvfsManager rmsd_mgr(std::make_unique<RmsdController>(rc), power::VfCurve::fdsoi28(), 1e9,
+                       10000);
+  // λ_node = 0.05 → Eq.(2) requests 125 MHz → clipped to F_min.
+  const auto f = rmsd_mgr.apply_update(1000, measurements(0.05));
+  EXPECT_NEAR(f, 333e6, 1e3);
+  EXPECT_NEAR(rmsd_mgr.current_voltage(), 0.56, 1e-3);
+  // λ_node = 0.8 → request 2 GHz → clipped to F_max.
+  EXPECT_NEAR(rmsd_mgr.apply_update(2000, measurements(0.8)), 1e9, 1e3);
+  EXPECT_NEAR(rmsd_mgr.current_voltage(), 0.90, 1e-3);
+}
+
+TEST(DvfsManager, TraceRecordsOnlyRealChanges) {
+  RmsdConfig rc;
+  rc.lambda_max = 0.4;
+  DvfsManager mgr(std::make_unique<RmsdController>(rc), power::VfCurve::fdsoi28(), 1e9, 10000);
+  mgr.apply_update(1000, measurements(0.2));   // 1 GHz → 0.5 GHz: change
+  mgr.apply_update(2000, measurements(0.2));   // same request: no new point
+  mgr.apply_update(3000, measurements(0.3));   // 0.75 GHz: change
+  ASSERT_EQ(mgr.trace().size(), 2u);
+  EXPECT_EQ(mgr.trace()[0].t, 1000u);
+  EXPECT_NEAR(mgr.trace()[0].f, 0.5e9, 1e3);
+  EXPECT_NEAR(mgr.trace()[1].f, 0.75e9, 1e3);
+  EXPECT_GT(mgr.trace()[0].vdd, 0.5);
+}
+
+TEST(DvfsManager, QuantizedCurveSnapsRequests) {
+  RmsdConfig rc;
+  rc.lambda_max = 0.4;
+  DvfsManager mgr(std::make_unique<RmsdController>(rc),
+                  power::VfCurve::fdsoi28().quantized(4), 1e9, 10000);
+  // Request 0.5 GHz; levels are 333/555/778/1000 MHz → snap UP to 555 MHz.
+  const auto f = mgr.apply_update(1000, measurements(0.2));
+  EXPECT_NEAR(f, 333e6 + (1e9 - 333e6) / 3.0, 1e5);
+}
+
+TEST(DvfsManager, ResetRestoresTopOfRange) {
+  RmsdConfig rc;
+  rc.lambda_max = 0.4;
+  DvfsManager mgr(std::make_unique<RmsdController>(rc), power::VfCurve::fdsoi28(), 1e9, 10000);
+  mgr.apply_update(1000, measurements(0.1));
+  EXPECT_LT(mgr.current_frequency(), 1e9);
+  mgr.reset();
+  EXPECT_DOUBLE_EQ(mgr.current_frequency(), 1e9);
+  EXPECT_TRUE(mgr.trace().empty());
+}
+
+TEST(DvfsManager, ConstructionValidation) {
+  EXPECT_THROW(DvfsManager(nullptr, power::VfCurve::fdsoi28(), 1e9, 10000),
+               std::invalid_argument);
+  EXPECT_THROW(
+      DvfsManager(std::make_unique<NoDvfsController>(), power::VfCurve::fdsoi28(), 1e9, 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      DvfsManager(std::make_unique<NoDvfsController>(), power::VfCurve::fdsoi28(), 0.0, 100),
+      std::invalid_argument);
+}
+
+/// Property sweep: the PI loop converges for a range of gains around the
+/// paper's values (the "stability vs reactivity compromise" the authors
+/// tuned by hand).
+class PiGainSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PiGainSweep, ConvergesOnStaticPlant) {
+  const auto [ki, kp] = GetParam();
+  DmsdConfig cfg;
+  cfg.target_delay_ns = 150.0;
+  cfg.ki = ki;
+  cfg.kp = kp;
+  DmsdController c(cfg);
+  ControlContext context = ctx();
+  double u = 1.0;
+  for (int i = 0; i < 600; ++i) {
+    const double f = c.update(context, measurements(0.2, plant_delay(u), 100));
+    u = std::clamp(f / context.f_max, 1.0 / 3.0, 1.0);
+    context.f_current = u * context.f_max;
+  }
+  EXPECT_NEAR(plant_delay(u), 150.0, 15.0) << "ki=" << ki << " kp=" << kp;
+}
+
+INSTANTIATE_TEST_SUITE_P(GainGrid, PiGainSweep,
+                         ::testing::Values(std::pair{0.0125, 0.00625},
+                                           std::pair{0.025, 0.0125},   // paper values
+                                           std::pair{0.05, 0.025},
+                                           std::pair{0.025, 0.0},
+                                           std::pair{0.1, 0.05}));
+
+}  // namespace
+}  // namespace nocdvfs::dvfs

@@ -1,0 +1,309 @@
+// Unit tests for the NoC building blocks below the router: arbiters, the
+// separable allocator, mesh topology, dimension-ordered routing, and the
+// pipelined channels.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "noc/allocator.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+namespace nocdvfs::noc {
+namespace {
+
+// ------------------------------------------------------------ arbiter ----
+
+TEST(RoundRobinArbiter, GrantsSingleRequester) {
+  RoundRobinArbiter arb(4);
+  arb.add_request(2);
+  EXPECT_EQ(arb.arbitrate(), 2);
+  EXPECT_EQ(arb.arbitrate(), -1);  // requests consumed
+}
+
+TEST(RoundRobinArbiter, RotatesAfterGrant) {
+  RoundRobinArbiter arb(3);
+  // All requesting every cycle: grants must cycle 0, 1, 2, 0, ...
+  std::vector<int> grants;
+  for (int i = 0; i < 6; ++i) {
+    arb.add_request(0);
+    arb.add_request(1);
+    arb.add_request(2);
+    grants.push_back(arb.arbitrate());
+  }
+  EXPECT_EQ(grants, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(RoundRobinArbiter, FairUnderContention) {
+  RoundRobinArbiter arb(4);
+  std::map<int, int> wins;
+  for (int i = 0; i < 400; ++i) {
+    for (int r = 0; r < 4; ++r) arb.add_request(r);
+    ++wins[arb.arbitrate()];
+  }
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(wins[r], 100) << "requester " << r;
+}
+
+TEST(RoundRobinArbiter, SkipsNonRequesters) {
+  RoundRobinArbiter arb(4);
+  arb.add_request(1);
+  arb.add_request(3);
+  EXPECT_EQ(arb.arbitrate(), 1);
+  arb.add_request(1);
+  arb.add_request(3);
+  EXPECT_EQ(arb.arbitrate(), 3);  // priority moved past 1
+}
+
+TEST(RoundRobinArbiter, InvalidConstructionAndRequests) {
+  EXPECT_THROW(RoundRobinArbiter(0), std::invalid_argument);
+  RoundRobinArbiter arb(2);
+  EXPECT_THROW(arb.add_request(2), common::InvariantViolation);
+  EXPECT_THROW(arb.add_request(-1), common::InvariantViolation);
+}
+
+TEST(MatrixArbiter, LeastRecentlyServedWins) {
+  MatrixArbiter arb(3);
+  arb.add_request(0);
+  arb.add_request(1);
+  EXPECT_EQ(arb.arbitrate(), 0);  // initial priority favors low index
+  arb.add_request(0);
+  arb.add_request(1);
+  EXPECT_EQ(arb.arbitrate(), 1);  // 0 dropped to lowest priority
+  arb.add_request(0);
+  arb.add_request(2);
+  EXPECT_EQ(arb.arbitrate(), 2);  // 2 untouched, still beats both served ones
+}
+
+TEST(MatrixArbiter, FairUnderContention) {
+  MatrixArbiter arb(4);
+  std::map<int, int> wins;
+  for (int i = 0; i < 400; ++i) {
+    for (int r = 0; r < 4; ++r) arb.add_request(r);
+    ++wins[arb.arbitrate()];
+  }
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(wins[r], 100);
+}
+
+TEST(ArbiterFactory, CreatesByNameAndRejectsUnknown) {
+  EXPECT_NE(Arbiter::create("roundrobin", 3), nullptr);
+  EXPECT_NE(Arbiter::create("matrix", 3), nullptr);
+  EXPECT_THROW(Arbiter::create("priority", 3), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- allocator ----
+
+TEST(SeparableAllocator, SingleRequestGranted) {
+  SeparableAllocator alloc(4, 4);
+  alloc.add_request(1, 2);
+  const auto& grants = alloc.allocate();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0], (std::pair<int, int>{1, 2}));
+}
+
+TEST(SeparableAllocator, MatchingIsValid) {
+  // Every agent requests every resource; the result must be a matching.
+  SeparableAllocator alloc(4, 4);
+  for (int round = 0; round < 20; ++round) {
+    for (int a = 0; a < 4; ++a) {
+      for (int r = 0; r < 4; ++r) alloc.add_request(a, r);
+    }
+    const auto& grants = alloc.allocate();
+    std::set<int> agents, resources;
+    for (const auto& [a, r] : grants) {
+      EXPECT_TRUE(agents.insert(a).second) << "agent granted twice";
+      EXPECT_TRUE(resources.insert(r).second) << "resource granted twice";
+    }
+    EXPECT_GE(grants.size(), 1u);
+  }
+}
+
+TEST(SeparableAllocator, ConflictResolvedToOneWinner) {
+  SeparableAllocator alloc(3, 3);
+  alloc.add_request(0, 1);
+  alloc.add_request(2, 1);
+  const auto& grants = alloc.allocate();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].second, 1);
+}
+
+TEST(SeparableAllocator, RepeatedConflictAlternates) {
+  // Under persistent 2-way conflict the rotating pointers must alternate
+  // winners (starvation freedom).
+  SeparableAllocator alloc(2, 1);
+  std::map<int, int> wins;
+  for (int i = 0; i < 100; ++i) {
+    alloc.add_request(0, 0);
+    alloc.add_request(1, 0);
+    const auto& grants = alloc.allocate();
+    ASSERT_EQ(grants.size(), 1u);
+    ++wins[grants[0].first];
+  }
+  EXPECT_EQ(wins[0], 50);
+  EXPECT_EQ(wins[1], 50);
+}
+
+TEST(SeparableAllocator, ClearDropsRequests) {
+  SeparableAllocator alloc(2, 2);
+  alloc.add_request(0, 0);
+  alloc.clear_requests();
+  EXPECT_TRUE(alloc.allocate().empty());
+}
+
+TEST(SeparableAllocator, InvalidSizesRejected) {
+  EXPECT_THROW(SeparableAllocator(0, 1), std::invalid_argument);
+  EXPECT_THROW(SeparableAllocator(1, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- topology ----
+
+TEST(MeshTopology, CoordinateRoundTrip) {
+  MeshTopology topo(5, 4);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(topo.node_at(topo.coord_of(n)), n);
+  }
+  EXPECT_EQ(topo.num_nodes(), 20);
+}
+
+TEST(MeshTopology, NeighborsAtCornersAndCenter) {
+  MeshTopology topo(3, 3);
+  const NodeId corner = topo.node_at({0, 0});
+  EXPECT_FALSE(topo.has_neighbor(corner, PortDir::West));
+  EXPECT_FALSE(topo.has_neighbor(corner, PortDir::South));
+  EXPECT_TRUE(topo.has_neighbor(corner, PortDir::East));
+  EXPECT_TRUE(topo.has_neighbor(corner, PortDir::North));
+
+  const NodeId center = topo.node_at({1, 1});
+  for (PortDir d : {PortDir::North, PortDir::East, PortDir::South, PortDir::West}) {
+    EXPECT_TRUE(topo.has_neighbor(center, d));
+  }
+  EXPECT_FALSE(topo.has_neighbor(center, PortDir::Local));
+  EXPECT_EQ(topo.neighbor(center, PortDir::North), topo.node_at({1, 2}));
+  EXPECT_EQ(topo.neighbor(center, PortDir::South), topo.node_at({1, 0}));
+  EXPECT_EQ(topo.neighbor(center, PortDir::East), topo.node_at({2, 1}));
+  EXPECT_EQ(topo.neighbor(center, PortDir::West), topo.node_at({0, 1}));
+}
+
+TEST(MeshTopology, NeighborThrowsOffMesh) {
+  MeshTopology topo(2, 2);
+  EXPECT_THROW(topo.neighbor(0, PortDir::West), std::out_of_range);
+  EXPECT_THROW(topo.coord_of(4), std::out_of_range);
+  EXPECT_THROW(topo.node_at({2, 0}), std::out_of_range);
+}
+
+TEST(MeshTopology, LinkCountFormula) {
+  EXPECT_EQ(MeshTopology(5, 5).num_directed_links(), 80);
+  EXPECT_EQ(MeshTopology(4, 4).num_directed_links(), 48);
+  EXPECT_EQ(MeshTopology(8, 8).num_directed_links(), 224);
+  EXPECT_EQ(MeshTopology(2, 1).num_directed_links(), 2);
+}
+
+TEST(MeshTopology, ManhattanDistance) {
+  EXPECT_EQ(MeshTopology::manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(MeshTopology::manhattan({2, 2}, {2, 2}), 0);
+}
+
+TEST(MeshTopology, DegenerateSizesRejected) {
+  EXPECT_THROW(MeshTopology(0, 5), std::invalid_argument);
+  EXPECT_THROW(MeshTopology(1, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ routing ----
+
+TEST(Routing, XYGoesXFirst) {
+  MeshTopology topo(5, 5);
+  const NodeId src = topo.node_at({1, 1});
+  EXPECT_EQ(route_dor(RoutingAlgo::XY, topo, src, topo.node_at({3, 3})), PortDir::East);
+  EXPECT_EQ(route_dor(RoutingAlgo::XY, topo, src, topo.node_at({0, 3})), PortDir::West);
+  EXPECT_EQ(route_dor(RoutingAlgo::XY, topo, src, topo.node_at({1, 3})), PortDir::North);
+  EXPECT_EQ(route_dor(RoutingAlgo::XY, topo, src, topo.node_at({1, 0})), PortDir::South);
+  EXPECT_EQ(route_dor(RoutingAlgo::XY, topo, src, src), PortDir::Local);
+}
+
+TEST(Routing, YXGoesYFirst) {
+  MeshTopology topo(5, 5);
+  const NodeId src = topo.node_at({1, 1});
+  EXPECT_EQ(route_dor(RoutingAlgo::YX, topo, src, topo.node_at({3, 3})), PortDir::North);
+  EXPECT_EQ(route_dor(RoutingAlgo::YX, topo, src, topo.node_at({3, 1})), PortDir::East);
+}
+
+TEST(Routing, EveryPairReachesDestinationMinimally) {
+  // Property: following the routing function hop by hop reaches dst in
+  // exactly manhattan-distance steps, for both dimension orders.
+  MeshTopology topo(4, 3);
+  for (const RoutingAlgo algo : {RoutingAlgo::XY, RoutingAlgo::YX}) {
+    for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+      for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+        NodeId here = s;
+        int steps = 0;
+        while (here != d) {
+          const PortDir dir = route_dor(algo, topo, here, d);
+          ASSERT_NE(dir, PortDir::Local);
+          here = topo.neighbor(here, dir);
+          ASSERT_LE(++steps, topo.hop_distance(s, d)) << "non-minimal route";
+        }
+        EXPECT_EQ(steps, topo.hop_distance(s, d));
+        EXPECT_EQ(route_dor(algo, topo, here, d), PortDir::Local);
+      }
+    }
+  }
+}
+
+TEST(Routing, StringConversions) {
+  EXPECT_EQ(routing_algo_from_string("xy"), RoutingAlgo::XY);
+  EXPECT_EQ(routing_algo_from_string("yx"), RoutingAlgo::YX);
+  EXPECT_THROW(routing_algo_from_string("adaptive"), std::invalid_argument);
+  EXPECT_STREQ(to_string(RoutingAlgo::XY), "xy");
+}
+
+// ------------------------------------------------------------ channel ----
+
+TEST(DelayLine, DeliversAfterLatency) {
+  DelayLine<int> ch(2);
+  ch.push(42);
+  ch.tick();
+  EXPECT_FALSE(ch.pop().has_value());
+  ch.tick();
+  const auto v = ch.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(DelayLine, PipelinedBackToBack) {
+  DelayLine<int> ch(3);
+  // One push per cycle; each arrives exactly 3 ticks later.
+  std::vector<int> received;
+  for (int i = 0; i < 10; ++i) {
+    ch.tick();
+    if (auto v = ch.pop()) received.push_back(*v);
+    if (i < 6) ch.push(i);
+  }
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(DelayLine, DoublePushSameCycleViolatesInvariant) {
+  DelayLine<int> ch(1);
+  ch.push(1);
+  EXPECT_THROW(ch.push(2), common::InvariantViolation);
+}
+
+TEST(DelayLine, InFlightCount) {
+  DelayLine<int> ch(2);
+  EXPECT_EQ(ch.in_flight(), 0u);
+  ch.push(5);
+  EXPECT_EQ(ch.in_flight(), 1u);
+  ch.tick();
+  ch.tick();
+  (void)ch.pop();
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST(DelayLine, LatencyMustBePositive) {
+  EXPECT_THROW(DelayLine<int>(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocdvfs::noc

@@ -1,0 +1,133 @@
+// Tests for the queue-occupancy controller (QBSD) and the occupancy
+// measurement channel feeding it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dvfs/qbsd.hpp"
+#include "sim/experiment.hpp"
+
+namespace nocdvfs {
+namespace {
+
+dvfs::ControlContext ctx() {
+  dvfs::ControlContext c;
+  c.f_node = 1e9;
+  c.f_min = 333e6;
+  c.f_max = 1e9;
+  c.f_current = 1e9;
+  return c;
+}
+
+dvfs::WindowMeasurements occupancy_measurement(double occ) {
+  dvfs::WindowMeasurements m;
+  m.avg_buffer_occupancy = occ;
+  m.window_node_cycles = 10000;
+  m.window_noc_cycles = 10000;
+  return m;
+}
+
+TEST(Qbsd, SpeedsUpWhenQueuesFill) {
+  dvfs::QbsdConfig cfg;
+  cfg.occupancy_setpoint = 0.2;
+  cfg.u_init = 0.5;
+  dvfs::QbsdController c(cfg);
+  const double before = c.control_variable();
+  c.update(ctx(), occupancy_measurement(0.6));  // queues well above setpoint
+  EXPECT_GT(c.control_variable(), before);
+}
+
+TEST(Qbsd, SlowsDownWhenQueuesDrain) {
+  dvfs::QbsdConfig cfg;
+  cfg.occupancy_setpoint = 0.2;
+  dvfs::QbsdController c(cfg);
+  c.update(ctx(), occupancy_measurement(0.01));
+  EXPECT_LT(c.control_variable(), 1.0);
+}
+
+TEST(Qbsd, ConvergesOnSyntheticPlant) {
+  // Plant: occupancy rises as the clock slows — occ(U) = occ_ref / U
+  // (Little's law with fixed offered rate and latency-in-cycles).
+  dvfs::QbsdConfig cfg;
+  cfg.occupancy_setpoint = 0.2;
+  dvfs::QbsdController c(cfg);
+  auto context = ctx();
+  double u = 1.0;
+  const double occ_ref = 0.1;  // occupancy at full speed
+  for (int i = 0; i < 400; ++i) {
+    const double occ = occ_ref / u;
+    const double f = c.update(context, occupancy_measurement(occ));
+    u = std::clamp(f / context.f_max, 1.0 / 3.0, 1.0);
+    context.f_current = u * context.f_max;
+  }
+  // Fixed point: occ_ref/U = 0.2 → U = 0.5.
+  EXPECT_NEAR(u, 0.5, 0.05);
+}
+
+TEST(Qbsd, ClampsAtRangeEnds) {
+  dvfs::QbsdConfig cfg;
+  cfg.occupancy_setpoint = 0.2;
+  dvfs::QbsdController c(cfg);
+  auto context = ctx();
+  for (int i = 0; i < 200; ++i) c.update(context, occupancy_measurement(0.9));
+  EXPECT_NEAR(c.control_variable(), 1.0, 1e-9);
+  c.reset();
+  for (int i = 0; i < 200; ++i) c.update(context, occupancy_measurement(0.0));
+  // Bottom rail is f_min/f_max = 333 MHz / 1 GHz = 0.333 exactly.
+  EXPECT_NEAR(c.control_variable(), 0.333, 1e-9);
+}
+
+TEST(Qbsd, ValidationErrors) {
+  dvfs::QbsdConfig cfg;
+  cfg.occupancy_setpoint = 0.0;
+  EXPECT_THROW(dvfs::QbsdController{cfg}, std::invalid_argument);
+  cfg = dvfs::QbsdConfig{};
+  cfg.occupancy_setpoint = 1.0;
+  EXPECT_THROW(dvfs::QbsdController{cfg}, std::invalid_argument);
+  cfg = dvfs::QbsdConfig{};
+  cfg.ki = 0.0;
+  EXPECT_THROW(dvfs::QbsdController{cfg}, std::invalid_argument);
+}
+
+TEST(Qbsd, EndToEndRegulatesBetweenRmsdAndNoDvfs) {
+  // At a mid load, QBSD with a moderate setpoint must land between the
+  // extremes: slower than No-DVFS, delay far below RMSD's plateau.
+  sim::ExperimentConfig cfg;
+  cfg.network.width = 4;
+  cfg.network.height = 4;
+  cfg.network.num_vcs = 4;
+  cfg.packet_size = 8;
+  cfg.lambda = 0.2;
+  cfg.control_period = 2000;
+  cfg.policy.lambda_max = 0.45;
+  cfg.phases.warmup_node_cycles = 60000;
+  cfg.phases.measure_node_cycles = 60000;
+  cfg.phases.max_warmup_node_cycles = 400000;
+
+  cfg.policy.policy = sim::Policy::Qbsd;
+  // A low setpoint keeps queues shallow — clearly less aggressive than
+  // RMSD's near-saturation pin (whose occupancy at this load is ~0.10).
+  cfg.policy.occupancy_setpoint = 0.04;
+  const auto qbsd = sim::run_synthetic_experiment(cfg);
+  cfg.policy.policy = sim::Policy::Rmsd;
+  const auto rmsd = sim::run_synthetic_experiment(cfg);
+
+  EXPECT_LT(qbsd.avg_frequency_hz, 1e9 - 1e6) << "QBSD must actually slow down";
+  EXPECT_GT(qbsd.avg_frequency_hz, rmsd.avg_frequency_hz)
+      << "a shallow occupancy setpoint is less aggressive than RMSD's near-saturation pin";
+  EXPECT_LT(qbsd.avg_delay_ns, rmsd.avg_delay_ns);
+  EXPECT_FALSE(qbsd.saturated);
+  EXPECT_NEAR(qbsd.delivered_flits_per_node_cycle, 0.2, 0.02);
+}
+
+TEST(ExperimentPlumbing, QbsdPolicyRoundTrip) {
+  EXPECT_EQ(sim::policy_from_string("qbsd"), sim::Policy::Qbsd);
+  EXPECT_STREQ(sim::to_string(sim::Policy::Qbsd), "qbsd");
+  sim::PolicyConfig pc;
+  pc.policy = sim::Policy::Qbsd;
+  EXPECT_STREQ(sim::make_controller(pc)->name(), "qbsd");
+}
+
+}  // namespace
+}  // namespace nocdvfs

@@ -1,0 +1,118 @@
+// Tests for multi-seed replication and remaining simulator edge cases:
+// zero traffic, YX routing end to end, rectangular meshes, quantized-VF
+// runs under DMSD.
+
+#include <gtest/gtest.h>
+
+#include "sim/replication.hpp"
+
+namespace nocdvfs::sim {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.network.width = 3;
+  cfg.network.height = 3;
+  cfg.packet_size = 4;
+  cfg.lambda = 0.1;
+  cfg.control_period = 2000;
+  cfg.phases.warmup_node_cycles = 8000;
+  cfg.phases.measure_node_cycles = 12000;
+  cfg.phases.adaptive_warmup = false;
+  return cfg;
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  const auto rep = replicate_synthetic(small_config(), 5, 100);
+  EXPECT_EQ(rep.replications, 5);
+  ASSERT_EQ(rep.runs.size(), 5u);
+  EXPECT_GT(rep.delay_ns.mean, 0.0);
+  EXPECT_GT(rep.delay_ns.stddev, 0.0) << "different seeds must produce different samples";
+  EXPECT_GT(rep.delay_ns.ci95_half_width, 0.0);
+  EXPECT_LE(rep.delay_ns.min, rep.delay_ns.mean);
+  EXPECT_GE(rep.delay_ns.max, rep.delay_ns.mean);
+  // CI should be tight relative to the mean for this stable metric.
+  EXPECT_LT(rep.delay_ns.ci95_half_width, 0.2 * rep.delay_ns.mean);
+  EXPECT_NEAR(rep.delivered_lambda.mean, 0.1, 0.01);
+}
+
+TEST(Replication, SingleReplicationHasZeroCi) {
+  const auto rep = replicate_synthetic(small_config(), 1);
+  EXPECT_EQ(rep.replications, 1);
+  EXPECT_DOUBLE_EQ(rep.delay_ns.ci95_half_width, 0.0);
+}
+
+TEST(Replication, RejectsNonPositiveCount) {
+  EXPECT_THROW(replicate_synthetic(small_config(), 0), std::invalid_argument);
+}
+
+TEST(SimulatorEdge, ZeroTrafficRunIsClean) {
+  ExperimentConfig cfg = small_config();
+  cfg.lambda = 0.0;
+  const RunResult r = run_synthetic_experiment(cfg);
+  EXPECT_EQ(r.packets_delivered, 0u);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.avg_delay_ns, 0.0);
+  // Idle power is still nonzero: clock + leakage.
+  EXPECT_GT(r.power_mw(), 1.0);
+}
+
+TEST(SimulatorEdge, ZeroTrafficUnderRmsdDropsToFmin) {
+  ExperimentConfig cfg = small_config();
+  cfg.lambda = 0.0;
+  cfg.policy.policy = Policy::Rmsd;
+  cfg.policy.lambda_max = 0.4;
+  const RunResult r = run_synthetic_experiment(cfg);
+  EXPECT_NEAR(r.avg_frequency_hz, 333e6, 5e6);
+  EXPECT_NEAR(r.avg_voltage, 0.56, 0.01);
+}
+
+TEST(SimulatorEdge, YxRoutingDeliversEquivalently) {
+  ExperimentConfig cfg = small_config();
+  cfg.network.routing = noc::RoutingAlgo::YX;
+  const RunResult yx = run_synthetic_experiment(cfg);
+  cfg.network.routing = noc::RoutingAlgo::XY;
+  const RunResult xy = run_synthetic_experiment(cfg);
+  EXPECT_GT(yx.packets_delivered, 100u);
+  EXPECT_FALSE(yx.saturated);
+  // Uniform traffic on a square mesh: XY and YX are statistically
+  // symmetric — delays within a broad band of each other.
+  EXPECT_NEAR(yx.avg_delay_ns, xy.avg_delay_ns, 0.2 * xy.avg_delay_ns);
+}
+
+TEST(SimulatorEdge, RectangularMeshWorks) {
+  ExperimentConfig cfg = small_config();
+  cfg.network.width = 6;
+  cfg.network.height = 2;
+  const RunResult r = run_synthetic_experiment(cfg);
+  EXPECT_GT(r.packets_delivered, 100u);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.delivered_flits_per_node_cycle, 0.1, 0.015);
+}
+
+TEST(SimulatorEdge, DmsdWithQuantizedVfStillTracksLoosely) {
+  ExperimentConfig cfg = small_config();
+  cfg.lambda = 0.15;
+  cfg.policy.policy = Policy::Dmsd;
+  cfg.policy.target_delay_ns = 60.0;
+  cfg.vf_levels = 6;
+  cfg.phases.adaptive_warmup = true;
+  cfg.phases.warmup_node_cycles = 30000;
+  cfg.phases.max_warmup_node_cycles = 300000;
+  const RunResult r = run_synthetic_experiment(cfg);
+  // Discrete levels put a floor/ceiling around the target; the controller
+  // must still keep the delay the right order of magnitude and below the
+  // worst-case (F_min) delay.
+  EXPECT_GT(r.avg_delay_ns, 10.0);
+  EXPECT_LT(r.avg_delay_ns, 3.0 * 60.0);
+  // Frequency must sit on (or snap up from) one of the six levels.
+  const auto curve = power::VfCurve::fdsoi28().quantized(6);
+  double nearest = 1e18;
+  for (const double level : curve.levels()) {
+    nearest = std::min(nearest, std::abs(r.final_frequency_hz - level));
+  }
+  EXPECT_LT(nearest, 1e4);
+}
+
+}  // namespace
+}  // namespace nocdvfs::sim

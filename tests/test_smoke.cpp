@@ -1,0 +1,31 @@
+// Smoke test: the full stack (network + traffic + DVFS + power) runs a
+// short simulation and produces sane numbers. Deeper behaviour is covered
+// by the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace nocdvfs::sim {
+namespace {
+
+TEST(Smoke, ShortUniformRunDeliversPackets) {
+  ExperimentConfig cfg;
+  cfg.network.width = 4;
+  cfg.network.height = 4;
+  cfg.lambda = 0.1;
+  cfg.policy.policy = Policy::NoDvfs;
+  cfg.phases.warmup_node_cycles = 10000;
+  cfg.phases.measure_node_cycles = 20000;
+  cfg.phases.adaptive_warmup = false;
+  cfg.control_period = 5000;
+
+  const RunResult r = run_synthetic_experiment(cfg);
+  EXPECT_GT(r.packets_delivered, 100u);
+  EXPECT_GT(r.avg_delay_ns, 0.0);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.power.average_power_mw(), 0.0);
+}
+
+}  // namespace
+}  // namespace nocdvfs::sim
