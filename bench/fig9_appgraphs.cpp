@@ -6,6 +6,7 @@
 /// mapping (the quantity that actually enters the simulation).
 
 #include <iostream>
+#include <string>
 
 #include "apps/app_graphs.hpp"
 #include "common/table.hpp"
@@ -22,10 +23,12 @@ void dump(const apps::TaskGraph& g) {
   common::Table placement({"task", "mesh (x,y)", "node id"});
   for (std::size_t i = 0; i < g.nodes().size(); ++i) {
     const auto& n = g.nodes()[i];
-    placement.add_row({n.name,
-                       "(" + std::to_string(n.placement.x) + "," +
-                           std::to_string(n.placement.y) + ")",
-                       std::to_string(g.placement_node(static_cast<int>(i)))});
+    std::string xy = "(";
+    xy += std::to_string(n.placement.x);
+    xy += ",";
+    xy += std::to_string(n.placement.y);
+    xy += ")";
+    placement.add_row({n.name, xy, std::to_string(g.placement_node(static_cast<int>(i)))});
   }
   placement.print(std::cout);
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -93,8 +94,19 @@ std::string net_param_name(const ::testing::TestParamInfo<NetParams>& info) {
   const auto depth = std::get<2>(info.param);
   const auto pkt = std::get<3>(info.param);
   const auto link = std::get<4>(info.param);
-  return "k" + std::to_string(k) + "_vc" + std::to_string(vcs) + "_d" + std::to_string(depth) +
-         "_p" + std::to_string(pkt) + "_l" + std::to_string(link);
+  // Built with += rather than chained `const char* + std::string&&` to dodge
+  // GCC 12's -Wrestrict false positive on moved-string concatenation.
+  std::string name = "k";
+  name += std::to_string(k);
+  name += "_vc";
+  name += std::to_string(vcs);
+  name += "_d";
+  name += std::to_string(depth);
+  name += "_p";
+  name += std::to_string(pkt);
+  name += "_l";
+  name += std::to_string(link);
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
