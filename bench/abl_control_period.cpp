@@ -5,6 +5,9 @@
 /// meshes. This bench sweeps the period and reports delay-target tracking
 /// and actuation count; it also runs the paper's scalability claim on an
 /// 8×8 mesh at the default period.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <iostream>
 
@@ -13,32 +16,38 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation D", "DMSD control period sweep + 8x8 scalability check");
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation D", "DMSD control period sweep + 8x8 scalability check");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   const bench::Anchors anchors = bench::compute_anchors(base);
   const double lambda = 0.45 * anchors.lambda_sat;
   std::cout << "operating point lambda = " << common::Table::fmt(lambda, 3)
             << ", target = " << common::Table::fmt(anchors.target_delay_ns, 1) << " ns\n\n";
 
+  sim::Scenario op = bench::anchored(base, anchors);
+  op.lambda = lambda;
+  op.policy.policy = sim::Policy::Dmsd;
+
+  const std::vector<std::uint64_t> periods = {2500, 5000, 10000, 20000, 40000};
+  sim::SweepAxis period_axis = sim::SweepAxis::custom("period", {});
+  for (const std::uint64_t period : periods) {
+    period_axis.points.push_back({std::to_string(period), [period](sim::Scenario& s) {
+      s.control_period = period;
+      // Longer periods need a longer settle budget: same number of control
+      // updates, more cycles each.
+      s.phases.max_warmup_node_cycles *= (period > 10000 ? period / 10000 : 1);
+    }});
+  }
+  const auto recs = h.sweep(op, {period_axis}, "period-sweep");
+
   common::Table table({"period[node cyc]", "delay[ns]", "err vs target", "actuations",
                        "settle[cyc]"});
-  for (const std::uint64_t period : {2500u, 5000u, 10000u, 20000u, 40000u}) {
-    sim::ExperimentConfig cfg = base;
-    cfg.lambda = lambda;
-    cfg.policy.policy = sim::Policy::Dmsd;
-    cfg.policy.lambda_max = anchors.lambda_max;
-    cfg.policy.target_delay_ns = anchors.target_delay_ns;
-    cfg.control_period = period;
-    cfg.phases = bench::bench_phases();
-    // Longer periods need a longer settle budget: same number of control
-    // updates, more cycles each.
-    cfg.phases.max_warmup_node_cycles =
-        cfg.phases.max_warmup_node_cycles * (period > 10000 ? period / 10000 : 1);
-    const auto r = sim::run_synthetic_experiment(cfg);
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const sim::RunResult& r = recs[i].result;
     const double err = (r.avg_delay_ns - anchors.target_delay_ns) / anchors.target_delay_ns;
-    table.add_row({std::to_string(period), common::Table::fmt(r.avg_delay_ns, 1),
+    table.add_row({std::to_string(periods[i]), common::Table::fmt(r.avg_delay_ns, 1),
                    common::Table::fmt(100.0 * err, 1) + "%",
                    std::to_string(r.vf_trace.size()),
                    std::to_string(r.warmup_node_cycles_used)});
@@ -46,16 +55,14 @@ int main() {
   table.print(std::cout);
 
   std::cout << "\n8x8 scalability check at the paper's 10,000-cycle period:\n";
-  sim::ExperimentConfig big = base;
+  sim::Scenario big = base;
   big.network.width = 8;
   big.network.height = 8;
   const bench::Anchors big_anchors = bench::compute_anchors(big);
+  big = bench::anchored(big, big_anchors);
   big.lambda = 0.45 * big_anchors.lambda_sat;
   big.policy.policy = sim::Policy::Dmsd;
-  big.policy.lambda_max = big_anchors.lambda_max;
-  big.policy.target_delay_ns = big_anchors.target_delay_ns;
-  big.phases = bench::bench_phases();
-  const auto r = sim::run_synthetic_experiment(big);
+  const sim::RunResult r = sim::run(big);
   std::cout << "  8x8 DMSD: delay " << common::Table::fmt(r.avg_delay_ns, 1) << " ns vs target "
             << common::Table::fmt(big_anchors.target_delay_ns, 1) << " ns ("
             << common::Table::fmt(

@@ -5,6 +5,9 @@
 /// and 16 evenly spaced levels (requests snap UP so timing still closes)
 /// and compares delay and power against continuous tuning for both
 /// policies.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <iostream>
 
@@ -13,29 +16,32 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation C", "Continuous vs discrete V/F levels (paper footnote 2)");
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation C", "Continuous vs discrete V/F levels (paper footnote 2)");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   const bench::Anchors anchors = bench::compute_anchors(base);
   const double lambda = 0.45 * anchors.lambda_sat;
   std::cout << "operating point lambda = " << common::Table::fmt(lambda, 3) << "\n\n";
 
+  sim::Scenario op = bench::anchored(base, anchors);
+  op.lambda = lambda;
+
+  const std::vector<sim::Policy> policies = {sim::Policy::Rmsd, sim::Policy::Dmsd};
+  const std::vector<int> levels = {0, 16, 8, 4};
+  const auto recs = h.sweep(
+      op, {sim::SweepAxis::policies(policies), sim::SweepAxis::vf_levels(levels)});
+
   common::Table table({"policy", "levels", "delay[ns]", "freq[GHz]", "Vdd[V]", "power[mW]",
                        "power vs cont."});
-  for (const sim::Policy policy : {sim::Policy::Rmsd, sim::Policy::Dmsd}) {
+  for (std::size_t p = 0; p < policies.size(); ++p) {
     double continuous_power = 0.0;
-    for (const int levels : {0, 16, 8, 4}) {
-      sim::ExperimentConfig cfg = base;
-      cfg.lambda = lambda;
-      cfg.policy.policy = policy;
-      cfg.policy.lambda_max = anchors.lambda_max;
-      cfg.policy.target_delay_ns = anchors.target_delay_ns;
-      cfg.vf_levels = levels;
-      cfg.phases = bench::bench_phases();
-      const auto r = sim::run_synthetic_experiment(cfg);
-      if (levels == 0) continuous_power = r.power_mw();
-      table.add_row({sim::to_string(policy), levels == 0 ? "cont." : std::to_string(levels),
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      const sim::RunResult& r = recs[p * levels.size() + l].result;
+      if (levels[l] == 0) continuous_power = r.power_mw();
+      table.add_row({sim::to_string(policies[p]),
+                     levels[l] == 0 ? "cont." : std::to_string(levels[l]),
                      common::Table::fmt(r.avg_delay_ns, 1),
                      common::Table::fmt(r.avg_frequency_ghz(), 3),
                      common::Table::fmt(r.avg_voltage, 3),

@@ -4,6 +4,9 @@
 /// this bench quantifies that compromise: per gain pair it reports the
 /// steady tracking error against the delay target, the frequency ripple
 /// (actuation churn), and the settle time of the adaptive warmup.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <cmath>
 #include <iostream>
@@ -14,10 +17,11 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation B", "DMSD PI gains: stability vs reactivity");
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation B", "DMSD PI gains: stability vs reactivity");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   const bench::Anchors anchors = bench::compute_anchors(base);
   const double lambda = 0.45 * anchors.lambda_sat;
   std::cout << "operating point lambda = " << common::Table::fmt(lambda, 3)
@@ -27,7 +31,7 @@ int main() {
     double ki, kp;
     const char* note;
   };
-  const GainPair gains[] = {
+  const std::vector<GainPair> gains = {
       {0.00625, 0.003125, "1/4 paper"},
       {0.0125, 0.00625, "1/2 paper"},
       {0.025, 0.0125, "paper"},
@@ -37,18 +41,24 @@ int main() {
       {0.025, 0.0, "I-only"},
   };
 
+  sim::Scenario op = bench::anchored(base, anchors);
+  op.lambda = lambda;
+  op.policy.policy = sim::Policy::Dmsd;
+
+  sim::SweepAxis gain_axis = sim::SweepAxis::custom("gains", {});
+  for (const GainPair& g : gains) {
+    gain_axis.points.push_back({g.note, [g](sim::Scenario& s) {
+      s.policy.ki = g.ki;
+      s.policy.kp = g.kp;
+    }});
+  }
+  const auto recs = h.sweep(op, {gain_axis});
+
   common::Table table({"ki", "kp", "note", "delay[ns]", "err vs target", "freq ripple",
                        "settle[cyc]", "actuations"});
-  for (const auto& g : gains) {
-    sim::ExperimentConfig cfg = base;
-    cfg.lambda = lambda;
-    cfg.policy.policy = sim::Policy::Dmsd;
-    cfg.policy.lambda_max = anchors.lambda_max;
-    cfg.policy.target_delay_ns = anchors.target_delay_ns;
-    cfg.policy.ki = g.ki;
-    cfg.policy.kp = g.kp;
-    cfg.phases = bench::bench_phases();
-    const auto r = sim::run_synthetic_experiment(cfg);
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    const GainPair& g = gains[i];
+    const sim::RunResult& r = recs[i].result;
 
     // Frequency ripple: stddev of the actuation trace during measurement.
     common::RunningStats freq;

@@ -8,6 +8,9 @@
 ///   * at light loads occupancy collapses towards zero regardless of
 ///     frequency, the loop slides to F_min and the delay guarantee is
 ///     lost — the same failure region as RMSD, for a different reason.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <algorithm>
 #include <iostream>
@@ -17,23 +20,21 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation G", "Queue-based (QBSD) vs RMSD / DMSD / No-DVFS");
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation G", "Queue-based (QBSD) vs RMSD / DMSD / No-DVFS");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   const bench::Anchors anchors = bench::compute_anchors(base);
 
   // Calibrate the occupancy setpoint the same way the paper calibrates the
   // DMSD target: measure occupancy when the network delivers the target
   // delay (No-DVFS at lambda_max would be ~saturated occupancy; instead
   // use the occupancy of the DMSD operating point at mid load).
-  sim::ExperimentConfig probe = base;
+  sim::Scenario probe = bench::anchored(base, anchors);
   probe.lambda = 0.45 * anchors.lambda_sat;
   probe.policy.policy = sim::Policy::Dmsd;
-  probe.policy.lambda_max = anchors.lambda_max;
-  probe.policy.target_delay_ns = anchors.target_delay_ns;
-  probe.phases = bench::bench_phases();
-  const auto dmsd_ref = sim::run_synthetic_experiment(probe);
+  const sim::RunResult dmsd_ref = sim::run(probe);
   // Calibrate the proxy on the target: the occupancy the network actually
   // shows while DMSD holds its delay target at mid load. QBSD steering to
   // this setpoint should replicate DMSD there and reveal where the proxy
@@ -44,21 +45,21 @@ int main() {
             << " ns   QBSD setpoint = " << common::Table::fmt(est_occupancy, 3)
             << " (occupancy measured at the DMSD operating point)\n\n";
 
+  sim::Scenario op = bench::anchored(base, anchors);
+  op.policy.occupancy_setpoint = est_occupancy;
+
+  const auto lambdas = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(6, 4));
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd, sim::Policy::Qbsd};
+  const auto recs =
+      h.sweep(op, {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)});
+
   common::Table table({"lambda", "policy", "delay[ns]", "freq[GHz]", "power[mW]", "occ",
                        "sat?"});
-  const auto sweep = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(6, 4));
-  for (const double lambda : sweep) {
-    for (const sim::Policy policy : {sim::Policy::NoDvfs, sim::Policy::Rmsd,
-                                     sim::Policy::Dmsd, sim::Policy::Qbsd}) {
-      sim::ExperimentConfig cfg = base;
-      cfg.lambda = lambda;
-      cfg.policy.policy = policy;
-      cfg.policy.lambda_max = anchors.lambda_max;
-      cfg.policy.target_delay_ns = anchors.target_delay_ns;
-      cfg.policy.occupancy_setpoint = est_occupancy;
-      cfg.phases = bench::bench_phases();
-      const auto r = sim::run_synthetic_experiment(cfg);
-      table.add_row({common::Table::fmt(lambda, 3), sim::to_string(policy),
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const sim::RunResult& r = recs[i * policies.size() + p].result;
+      table.add_row({common::Table::fmt(lambdas[i], 3), sim::to_string(policies[p]),
                      common::Table::fmt(r.avg_delay_ns, 1),
                      common::Table::fmt(r.avg_frequency_ghz(), 3),
                      common::Table::fmt(r.power_mw(), 1),

@@ -6,6 +6,13 @@
 /// quantitative: short requests (4 flits) trigger data replies (16 flits)
 /// after a 20-cycle service time; replies carry the request's timestamp,
 /// so the class-1 delay IS the application-visible round-trip time.
+///
+/// The request–reply workload rides the Scenario API's custom-workload
+/// escape hatch: a traffic factory builds the closed-loop model per run,
+/// and the request rate is a custom sweep axis.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <iostream>
 
@@ -15,44 +22,58 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation E", "Request-reply round-trip time under the three policies");
+namespace {
 
-  sim::ExperimentConfig base = bench::paper_default_config();
+sim::Scenario::TrafficFactory rr_factory(double rate) {
+  return [rate](const sim::Scenario& s) -> std::unique_ptr<traffic::TrafficModel> {
+    noc::MeshTopology topo(s.network.width, s.network.height);
+    traffic::RequestReplyParams p;
+    p.request_rate = rate;
+    p.request_size = 4;
+    p.reply_size = 16;
+    p.service_node_cycles = 20;
+    p.seed = s.seed;
+    return std::make_unique<traffic::RequestReplyTraffic>(topo, p);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation E", "Request-reply round-trip time under the three policies");
+  if (!h.parse(argc, argv)) return h.exit_code();
+
+  const sim::Scenario base = h.scenario();
   std::cout << "Anchoring on uniform traffic (same router, same lambda_max law)...\n";
   const bench::Anchors anchors = bench::compute_anchors(base);
   std::cout << "lambda_max = " << common::Table::fmt(anchors.lambda_max, 3)
             << "   DMSD target = " << common::Table::fmt(anchors.target_delay_ns, 1)
             << " ns (one-way; RTT adds the return path and service)\n\n";
 
-  sim::SimulatorConfig sim_cfg;
-  sim_cfg.network = base.network;
-  sim_cfg.control_period_node_cycles = bench::bench_control_period();
+  sim::Scenario op = bench::anchored(base, anchors);
+  op.workload = sim::Scenario::Workload::Custom;
 
-  traffic::RequestReplyParams rr;
-  rr.request_size = 4;
-  rr.reply_size = 16;
-  rr.service_node_cycles = 20;
+  const std::vector<double> rates = {0.002, 0.005, 0.010, 0.015};
+  sim::SweepAxis rate_axis = sim::SweepAxis::custom("req_rate", {});
+  for (const double rate : rates) {
+    rate_axis.points.push_back({common::Table::fmt(rate, 3), [rate](sim::Scenario& s) {
+      s.traffic_factory = rr_factory(rate);
+    }});
+  }
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd};
+  const auto recs = h.sweep(op, {rate_axis, sim::SweepAxis::policies(policies)});
 
   common::Table table({"req rate", "lambda", "policy", "RTT[ns]", "1-way req[ns]",
                        "freq[GHz]", "power[mW]"});
-  for (const double rate : {0.002, 0.005, 0.010, 0.015}) {
-    for (const sim::Policy policy :
-         {sim::Policy::NoDvfs, sim::Policy::Rmsd, sim::Policy::Dmsd}) {
-      traffic::RequestReplyParams params = rr;
-      params.request_rate = rate;
-      noc::MeshTopology topo(base.network.width, base.network.height);
-      auto traffic_model = std::make_unique<traffic::RequestReplyTraffic>(topo, params);
-      const double lambda = traffic_model->offered_flits_per_node_cycle();
-
-      sim::PolicyConfig pc;
-      pc.policy = policy;
-      pc.lambda_max = anchors.lambda_max;
-      pc.target_delay_ns = anchors.target_delay_ns;
-      const auto r = sim::run_custom_experiment(sim_cfg, std::move(traffic_model), pc,
-                                                /*vf_levels=*/0, bench::bench_phases());
-      table.add_row({common::Table::fmt(rate, 3), common::Table::fmt(lambda, 3),
-                     sim::to_string(policy), common::Table::fmt(r.avg_class1_delay_ns, 1),
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    // Nominal offered load of this rate point, from a throwaway model.
+    const double lambda =
+        rr_factory(rates[i])(op)->offered_flits_per_node_cycle();
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const sim::RunResult& r = recs[i * policies.size() + p].result;
+      table.add_row({common::Table::fmt(rates[i], 3), common::Table::fmt(lambda, 3),
+                     sim::to_string(policies[p]), common::Table::fmt(r.avg_class1_delay_ns, 1),
                      common::Table::fmt(r.avg_class0_delay_ns, 1),
                      common::Table::fmt(r.avg_frequency_ghz(), 3),
                      common::Table::fmt(r.power_mw(), 1)});

@@ -9,6 +9,9 @@
 /// Expectation: identical steady state (same frequency/power/delay), but
 /// the closed loop settles more slowly (multiplicative updates) — visible
 /// in the adaptive-warmup cycles consumed before the controller is stable.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <iostream>
 
@@ -17,20 +20,26 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation A", "RMSD open-loop (Eq. 2) vs closed-loop load tracking");
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation A", "RMSD open-loop (Eq. 2) vs closed-loop load tracking");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   const bench::Anchors anchors = bench::compute_anchors(base);
   std::cout << "lambda_max = " << common::Table::fmt(anchors.lambda_max, 3) << "\n\n";
 
+  const auto lambdas = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(5, 3));
+  const std::vector<sim::Policy> policies = {sim::Policy::Rmsd, sim::Policy::RmsdClosed};
+  const auto recs =
+      h.sweep(bench::anchored(base, anchors),
+              {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)});
+
   common::Table table({"lambda", "variant", "delay[ns]", "freq[GHz]", "power[mW]",
                        "settle[node cycles]", "lambda_noc"});
-  const auto sweep = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(5, 3));
-  for (const double lambda : sweep) {
-    for (const sim::Policy policy : {sim::Policy::Rmsd, sim::Policy::RmsdClosed}) {
-      const auto r = bench::run_policy(base, policy, lambda, anchors);
-      table.add_row({common::Table::fmt(lambda, 3), sim::to_string(policy),
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const sim::RunResult& r = recs[i * policies.size() + p].result;
+      table.add_row({common::Table::fmt(lambdas[i], 3), sim::to_string(policies[p]),
                      common::Table::fmt(r.avg_delay_ns, 1),
                      common::Table::fmt(r.avg_frequency_ghz(), 3),
                      common::Table::fmt(r.power_mw(), 1),

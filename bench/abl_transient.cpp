@@ -7,7 +7,16 @@
 ///   * DMSD's PI loop walks its integrator over several windows (the
 ///     reactivity side of the paper's gains compromise), with a transient
 ///     delay excursion until the target is re-acquired.
+///
+/// The step-load workload rides the Scenario API's custom-workload escape
+/// hatch (a traffic factory builds the two-phase model per run); the two
+/// policies sweep in one SweepRunner call.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows — with `json=`, the per-window trajectory of both
+/// policies lands in the JSONL (see bench_common.hpp).
 
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -16,47 +25,46 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Ablation F", "Load-step transient: RMSD vs DMSD control traces");
+int main(int argc, char** argv) {
+  bench::Harness h("Ablation F", "Load-step transient: RMSD vs DMSD control traces");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   const bench::Anchors anchors = bench::compute_anchors(base);
   const double lambda_lo = 0.3 * anchors.lambda_max;
   const double lambda_hi = 0.8 * anchors.lambda_max;
 
   // The step fires after the (non-adaptive) warmup, inside the measured
   // region, so the whole transient lands in the window trace.
-  sim::RunPhases phases = bench::bench_phases();
-  phases.adaptive_warmup = false;
-  phases.warmup_node_cycles = 200000;
-  phases.measure_node_cycles = 300000;
   const common::Picoseconds step_ps = 300000ull * 1000ull;  // node cycle 300k
 
   std::cout << "load step: " << common::Table::fmt(lambda_lo, 3) << " -> "
             << common::Table::fmt(lambda_hi, 3) << " flits/cycle/node at t = 300 us\n"
             << "DMSD target = " << common::Table::fmt(anchors.target_delay_ns, 1) << " ns\n\n";
 
-  for (const sim::Policy policy : {sim::Policy::Rmsd, sim::Policy::Dmsd}) {
-    noc::MeshTopology topo(base.network.width, base.network.height);
+  sim::Scenario op = bench::anchored(base, anchors);
+  op.workload = sim::Scenario::Workload::Custom;
+  op.phases.adaptive_warmup = false;
+  op.phases.warmup_node_cycles = 200000;
+  op.phases.measure_node_cycles = 300000;
+  op.traffic_factory = [lambda_lo, lambda_hi,
+                        step_ps](const sim::Scenario& s) -> std::unique_ptr<traffic::TrafficModel> {
+    noc::MeshTopology topo(s.network.width, s.network.height);
     traffic::SyntheticTrafficParams before, after;
     before.lambda = lambda_lo;
-    before.packet_size = base.packet_size;
+    before.packet_size = s.packet_size;
     after = before;
     after.lambda = lambda_hi;
     after.seed = 2;
+    return std::make_unique<traffic::StepLoadTraffic>(topo, before, after, step_ps);
+  };
 
-    sim::SimulatorConfig sim_cfg;
-    sim_cfg.network = base.network;
-    sim_cfg.control_period_node_cycles = bench::bench_control_period();
+  const std::vector<sim::Policy> policies = {sim::Policy::Rmsd, sim::Policy::Dmsd};
+  const auto recs = h.sweep(op, {sim::SweepAxis::policies(policies)});
 
-    sim::PolicyConfig pc;
-    pc.policy = policy;
-    pc.lambda_max = anchors.lambda_max;
-    pc.target_delay_ns = anchors.target_delay_ns;
-
-    const auto r = sim::run_custom_experiment(
-        sim_cfg, std::make_unique<traffic::StepLoadTraffic>(topo, before, after, step_ps), pc,
-        0, phases);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const sim::Policy policy = policies[p];
+    const sim::RunResult& r = recs[p].result;
 
     std::cout << "--- " << sim::to_string(policy) << " window trace around the step ---\n";
     common::Table table({"t[us]", "window delay[ns]", "freq[GHz]", "packets"});

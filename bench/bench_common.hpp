@@ -1,28 +1,57 @@
 #pragma once
 
 /// \file bench_common.hpp
-/// Shared scaffolding for the figure-reproduction benches: paper-faithful
-/// default phases, the λ_max / DMSD-target anchoring procedure, sweep
-/// helpers and uniform banner output.
+/// Shared scaffolding for the figure-reproduction benches, built on the
+/// declarative `sim::Scenario` + `sim::SweepRunner` API: paper-faithful
+/// default phases, the λ_max / DMSD-target anchoring procedure, a
+/// `Harness` that gives every bench `key=value` overrides, `--help`
+/// (`help=1`), parallel sweep execution (`threads=N`) and machine-readable
+/// output (`csv=…` / `json=…`, e.g. under `bench/out/`), and uniform
+/// banner output.
 ///
-/// Environment: set NOCDVFS_BENCH_FAST=1 to shrink sweeps and phases
-/// (~4× faster, coarser curves). Each bench also accepts key=value
-/// overrides where noted in its header comment.
+/// Fast mode: pass `fast=1` (or set the legacy NOCDVFS_BENCH_FAST=1
+/// environment variable) to shrink sweeps and phases (~4× faster, coarser
+/// curves).
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "common/config.hpp"
 #include "sim/saturation.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace nocdvfs::bench {
 
-inline bool fast_mode() {
+namespace detail {
+/// Tri-state fast-mode override: unset → fall back to the environment.
+inline int& fast_override() {
+  static int value = -1;
+  return value;
+}
+}  // namespace detail
+
+inline bool env_fast_mode() {
   const char* v = std::getenv("NOCDVFS_BENCH_FAST");
   return v != nullptr && std::string(v) != "0";
 }
+
+/// Effective fast mode: the declared `fast` config key once a Harness has
+/// parsed (so it shows up in `--help` and run logs), the environment
+/// variable before that.
+inline bool fast_mode() {
+  const int o = detail::fast_override();
+  return o < 0 ? env_fast_mode() : o != 0;
+}
+
+inline void set_fast_mode(bool fast) { detail::fast_override() = fast ? 1 : 0; }
 
 /// Paper-faithful run phases (control period stays the config's 10 000
 /// node cycles); FAST mode shortens everything.
@@ -50,6 +79,28 @@ inline sim::SaturationSearchOptions bench_saturation_options() {
   return opt;
 }
 
+/// Control period used by all benches. The paper's control period is
+/// 10 000 cycles of the fastest clock; FAST mode halves it so the PI loop
+/// fits the same number of updates into the shortened settle budget (the
+/// paper's own ablation-D result: tracking quality is insensitive to the
+/// period in this range).
+inline std::uint64_t bench_control_period() { return fast_mode() ? 5000 : 10000; }
+
+/// The paper's default scenario: 5×5 mesh, 8 VCs × 4 flits, 20-flit
+/// packets, uniform traffic, with the bench phase protocol applied.
+inline sim::Scenario paper_default_scenario() {
+  sim::Scenario s;
+  s.network.width = 5;
+  s.network.height = 5;
+  s.network.num_vcs = 8;
+  s.network.vc_buffer_depth = 4;
+  s.packet_size = 20;
+  s.pattern = "uniform";
+  s.control_period = bench_control_period();
+  s.phases = bench_phases();
+  return s;
+}
+
 /// The per-configuration anchors the paper's methodology derives before
 /// running a sweep: measured saturation, λ_max = 0.9·λ_sat, and the DMSD
 /// target = the No-DVFS delay at λ_node = λ_max (which equals RMSD's
@@ -60,17 +111,25 @@ struct Anchors {
   double target_delay_ns = 0.0;
 };
 
-inline Anchors compute_anchors(sim::ExperimentConfig base) {
+inline Anchors compute_anchors(sim::Scenario base) {
   Anchors a;
-  a.lambda_sat = sim::find_saturation_rate(base, bench_saturation_options());
+  a.lambda_sat = sim::find_saturation(base, bench_saturation_options());
   a.lambda_max = 0.9 * a.lambda_sat;
 
-  sim::ExperimentConfig probe = base;
+  sim::Scenario probe = base;
   probe.lambda = a.lambda_max;
   probe.policy.policy = sim::Policy::NoDvfs;
   probe.phases = bench_phases();
-  a.target_delay_ns = sim::run_synthetic_experiment(probe).avg_delay_ns;
+  a.target_delay_ns = sim::run(probe).avg_delay_ns;
   return a;
+}
+
+/// A copy of `s` with the anchor-derived policy parameters applied (every
+/// policy point of a sweep shares them).
+inline sim::Scenario anchored(sim::Scenario s, const Anchors& anchors) {
+  s.policy.lambda_max = anchors.lambda_max;
+  s.policy.target_delay_ns = anchors.target_delay_ns;
+  return s;
 }
 
 /// Load sweep as fractions of the saturation rate, mirroring the paper's
@@ -86,9 +145,6 @@ inline std::vector<double> lambda_sweep(double lambda_sat, int points) {
 
 inline int sweep_points(int full, int fast) { return fast_mode() ? fast : full; }
 
-/// Control period used by all benches (see paper_default_config note).
-inline std::uint64_t bench_control_period() { return fast_mode() ? 5000 : 10000; }
-
 inline void banner(const std::string& figure, const std::string& what) {
   std::cout << "=================================================================\n"
             << figure << " — " << what << "\n"
@@ -98,32 +154,134 @@ inline void banner(const std::string& figure, const std::string& what) {
             << "=================================================================\n";
 }
 
-inline sim::ExperimentConfig paper_default_config() {
-  sim::ExperimentConfig cfg;
-  cfg.network.width = 5;
-  cfg.network.height = 5;
-  cfg.network.num_vcs = 8;
-  cfg.network.vc_buffer_depth = 4;
-  cfg.packet_size = 20;
-  cfg.pattern = "uniform";
-  // The paper's control period is 10 000 cycles of the fastest clock. FAST
-  // mode halves it so the PI loop fits the same number of updates into the
-  // shortened settle budget (the paper's own ablation-D result: tracking
-  // quality is insensitive to the period in this range).
-  cfg.control_period = fast_mode() ? 5000 : 10000;
-  cfg.phases = bench_phases();
-  return cfg;
-}
+/// Per-bench front end: declares the full Scenario key set plus the
+/// harness keys, parses `key=value` argv overrides, answers `help=1`, and
+/// executes sweeps through a SweepRunner wired to the optional CSV/JSONL
+/// sinks. Typical use:
+///
+///   bench::Harness h("Figure 7", "Synthetic patterns …");
+///   if (!h.parse(argc, argv)) return h.exit_code();
+///   sim::Scenario base = h.scenario();
+///   auto recs = h.sweep(base, {sim::SweepAxis::lambda(...),
+///                              sim::SweepAxis::policies(...)}, "group");
+class Harness {
+ public:
+  Harness(std::string figure, std::string what,
+          sim::Scenario defaults = paper_default_scenario())
+      : figure_(std::move(figure)), what_(std::move(what)) {
+    const sim::Scenario paper = paper_default_scenario();
+    custom_phase_defaults_ =
+        defaults.phases.warmup_node_cycles != paper.phases.warmup_node_cycles ||
+        defaults.phases.measure_node_cycles != paper.phases.measure_node_cycles ||
+        defaults.phases.max_warmup_node_cycles != paper.phases.max_warmup_node_cycles ||
+        defaults.control_period != paper.control_period;
+    sim::Scenario::declare_keys(config_, defaults);
+    config_.declare_bool("fast", env_fast_mode(),
+                         "shrink sweeps and phases (~4x faster, coarser curves)");
+    config_.declare_int("threads", 0, "sweep worker threads (0 = all cores)");
+    config_.declare("csv", "", "write headline-metric CSV rows to this path");
+    config_.declare("json", "", "write JSONL results + trajectories to this path");
+    config_.declare_bool("help", false, "print declared keys and exit");
+  }
 
-inline sim::RunResult run_policy(const sim::ExperimentConfig& base, sim::Policy policy,
-                                 double lambda, const Anchors& anchors) {
-  sim::ExperimentConfig cfg = base;
-  cfg.lambda = lambda;
-  cfg.policy.policy = policy;
-  cfg.policy.lambda_max = anchors.lambda_max;
-  cfg.policy.target_delay_ns = anchors.target_delay_ns;
-  cfg.phases = bench_phases();
-  return sim::run_synthetic_experiment(cfg);
-}
+  common::Config& config() noexcept { return config_; }
+  const common::Config& config() const noexcept { return config_; }
+
+  /// Parse argv overrides. Returns false when the bench should exit
+  /// immediately (help printed, or a parse error; see exit_code()).
+  /// On success prints the bench banner and the effective fast mode.
+  bool parse(int argc, const char* const* argv) {
+    try {
+      config_.parse_args(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      exit_code_ = 1;
+      return false;
+    }
+    set_fast_mode(config_.get_bool("fast"));
+    // Fast mode rescales the *defaults* of the phase/period keys; explicit
+    // key=value assignments always win (Config::declare keeps them), and a
+    // bench that passed its own phase defaults to the constructor keeps
+    // those untouched.
+    if (!custom_phase_defaults_) {
+      const sim::RunPhases phases = bench_phases();
+      config_.declare_int("warmup", static_cast<std::int64_t>(phases.warmup_node_cycles),
+                          "warmup node cycles");
+      config_.declare_int("measure", static_cast<std::int64_t>(phases.measure_node_cycles),
+                          "measurement node cycles");
+      config_.declare_int("max_warmup",
+                          static_cast<std::int64_t>(phases.max_warmup_node_cycles),
+                          "adaptive warmup bound in node cycles");
+      config_.declare_int("control_period",
+                          static_cast<std::int64_t>(bench_control_period()),
+                          "control update period in node cycles");
+    }
+    if (config_.get_bool("help")) {
+      for (const auto& line : config_.summary_lines()) std::cout << line << '\n';
+      exit_code_ = 0;
+      return false;
+    }
+    banner(figure_, what_);
+    return true;
+  }
+
+  int exit_code() const noexcept { return exit_code_; }
+
+  /// The base scenario described by the (possibly overridden) config.
+  sim::Scenario scenario() const { return sim::Scenario::from_config(config_); }
+
+  /// Run the cross product of `axes` over `base` on the worker pool,
+  /// streaming results to any configured CSV/JSONL sinks. Records come
+  /// back in deterministic row-major order regardless of thread count.
+  std::vector<sim::SweepRecord> sweep(const sim::Scenario& base,
+                                      const std::vector<sim::SweepAxis>& axes,
+                                      const std::string& group = "") {
+    ensure_runner();
+    return runner_->run(base, axes, group.empty() ? figure_ : group);
+  }
+
+ private:
+  void ensure_runner() {
+    if (runner_) return;
+    sim::SweepRunner::Options opt;
+    opt.threads = static_cast<int>(config_.get_int("threads"));
+    runner_ = std::make_unique<sim::SweepRunner>(opt);
+    open_sink(config_.get_string("csv"), csv_out_, [this] {
+      csv_sink_ = std::make_unique<sim::CsvResultSink>(csv_out_);
+      runner_->add_sink(*csv_sink_);
+    });
+    open_sink(config_.get_string("json"), json_out_, [this] {
+      json_sink_ = std::make_unique<sim::JsonlResultSink>(json_out_);
+      runner_->add_sink(*json_sink_);
+    });
+  }
+
+  void open_sink(const std::string& path, std::ofstream& stream,
+                 const std::function<void()>& attach) {
+    if (path.empty()) return;
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    stream.open(p);
+    if (!stream) {
+      std::cerr << "warning: cannot open sink file '" << path << "', skipping\n";
+      return;
+    }
+    attach();
+  }
+
+  std::string figure_;
+  std::string what_;
+  common::Config config_;
+  bool custom_phase_defaults_ = false;
+  int exit_code_ = 0;
+  std::unique_ptr<sim::SweepRunner> runner_;
+  std::ofstream csv_out_;
+  std::ofstream json_out_;
+  std::unique_ptr<sim::CsvResultSink> csv_sink_;
+  std::unique_ptr<sim::JsonlResultSink> json_sink_;
+};
 
 }  // namespace nocdvfs::bench

@@ -11,9 +11,13 @@
 /// the mapped workload — matching the paper's plots, where delay curves
 /// rise steeply as speed approaches 1.0. λ_max and the DMSD target are
 /// then re-derived per app exactly as in the synthetic experiments.
+///
+/// Accepts `key=value` overrides and `help=1` (e.g. `apps=h264`);
+/// `csv=`/`json=` write machine-readable rows (see bench_common.hpp).
 
 #include <cmath>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
@@ -22,62 +26,61 @@ using namespace nocdvfs;
 
 namespace {
 
-sim::RunResult run_app_policy(const sim::AppExperimentConfig& base, sim::Policy policy,
-                              double speed, double lambda_max, double target_ns) {
-  sim::AppExperimentConfig cfg = base;
-  cfg.speed = speed;
-  cfg.policy.policy = policy;
-  cfg.policy.lambda_max = lambda_max;
-  cfg.policy.target_delay_ns = target_ns;
-  return sim::run_app_experiment(cfg);
-}
-
-void run_app(const std::string& app) {
+void run_app(bench::Harness& h, const std::string& app) {
   std::cout << "\n--- app: " << app << " ---\n";
-  sim::AppExperimentConfig base;
+  sim::Scenario base = h.scenario();
+  base.workload = sim::Scenario::Workload::App;
   base.app = app;
-  base.packet_size = 20;
-  base.control_period = bench::bench_control_period();
-  base.phases = bench::bench_phases();
 
   // Step 1: provisional scale so the search window is sensible.
   base.traffic_scale = 1.0;
-  const double lambda_at_speed1 = sim::app_mean_lambda(base);
+  const double lambda_at_speed1 = sim::mean_lambda(base);
   base.traffic_scale = 0.35 / lambda_at_speed1;
 
   // Step 2: measure the saturation speed of the mapped workload.
   sim::SaturationSearchOptions opt = bench::bench_saturation_options();
   opt.hi = 2.0;
-  const double sat_speed = sim::find_app_saturation_speed(base, opt);
+  const double sat_speed = sim::find_saturation(base, opt);
 
   // Step 3: re-scale so speed 1.0 = 0.9 × saturation.
   base.traffic_scale *= 0.9 * sat_speed;
-  const double lambda_max = sim::app_mean_lambda(base);  // offered λ at speed 1.0
+  base.speed = 1.0;
+  const double lambda_max = sim::mean_lambda(base);  // offered λ at speed 1.0
 
   // Step 4: DMSD target = No-DVFS delay at speed 1.0 (the RMSD plateau).
-  sim::AppExperimentConfig probe = base;
-  probe.speed = 1.0;
+  sim::Scenario probe = base;
   probe.policy.policy = sim::Policy::NoDvfs;
-  const double target_ns = sim::run_app_experiment(probe).avg_delay_ns;
+  const double target_ns = sim::run(probe).avg_delay_ns;
 
   std::cout << "calibration: saturation at speed " << common::Table::fmt(sat_speed, 2)
             << " (pre-scale) -> speed 1.0 = 0.9x saturation;  lambda_max = "
             << common::Table::fmt(lambda_max, 3) << ";  DMSD target = "
             << common::Table::fmt(target_ns, 1) << " ns\n";
 
+  base.policy.lambda_max = lambda_max;
+  base.policy.target_delay_ns = target_ns;
+
+  const int points = bench::sweep_points(9, 5);
+  std::vector<double> speeds;
+  for (int i = 1; i <= points; ++i) speeds.push_back(static_cast<double>(i) / points);
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd};
+  const auto recs = h.sweep(
+      base, {sim::SweepAxis::speed(speeds), sim::SweepAxis::policies(policies)},
+      "app=" + app);
+
   common::Table table({"speed", "lambda", "delay none", "delay rmsd", "delay dmsd",
                        "P none", "P rmsd", "P dmsd", "d rmsd/dmsd", "P none/dmsd"});
   double mid_d_ratio = 0.0, mid_p_ratio = 0.0;
   double dist = 1e9;
-  const int points = bench::sweep_points(9, 5);
-  for (int i = 1; i <= points; ++i) {
-    const double speed = static_cast<double>(i) / points;
-    sim::AppExperimentConfig lcfg = base;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const double speed = speeds[i];
+    sim::Scenario lcfg = base;
     lcfg.speed = speed;
-    const double lambda = sim::app_mean_lambda(lcfg);
-    const auto none = run_app_policy(base, sim::Policy::NoDvfs, speed, lambda_max, target_ns);
-    const auto rmsd = run_app_policy(base, sim::Policy::Rmsd, speed, lambda_max, target_ns);
-    const auto dmsd = run_app_policy(base, sim::Policy::Dmsd, speed, lambda_max, target_ns);
+    const double lambda = sim::mean_lambda(lcfg);
+    const sim::RunResult& none = recs[i * policies.size() + 0].result;
+    const sim::RunResult& rmsd = recs[i * policies.size() + 1].result;
+    const sim::RunResult& dmsd = recs[i * policies.size() + 2].result;
     const double d_ratio = rmsd.avg_delay_ns / dmsd.avg_delay_ns;
     table.add_row({common::Table::fmt(speed, 2), common::Table::fmt(lambda, 3),
                    common::Table::fmt(none.avg_delay_ns, 1),
@@ -101,10 +104,15 @@ void run_app(const std::string& app) {
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 10", "Multimedia workloads: delay and power vs app speed");
-  run_app("h264");
-  run_app("vce");
+int main(int argc, char** argv) {
+  bench::Harness h("Figure 10", "Multimedia workloads: delay and power vs app speed");
+  h.config().declare("apps", "h264,vce", "comma list of apps to sweep");
+  if (!h.parse(argc, argv)) return h.exit_code();
+
+  std::stringstream apps(h.config().get_string("apps"));
+  std::string app;
+  while (std::getline(apps, app, ',')) run_app(h, app);
+
   std::cout << "\nConclusion check: under realistic multimedia traffic the RMSD power\n"
                "saving still costs disproportionate application delay — the delay-based\n"
                "policy remains the better trade-off (paper Sec. VI).\n";

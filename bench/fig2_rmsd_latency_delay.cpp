@@ -8,6 +8,9 @@
 ///   (b) packet delay in NANOSECONDS vs injection rate — RMSD becomes
 ///       non-monotonic with a large peak at λ_min (the paper's headline
 ///       anomaly, ≈9× the No-DVFS delay).
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <algorithm>
 #include <iostream>
@@ -17,15 +20,27 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Figure 2", "RMSD vs No-DVFS: latency (cycles) and delay (ns)");
+int main(int argc, char** argv) {
+  bench::Harness h("Figure 2", "RMSD vs No-DVFS: latency (cycles) and delay (ns)");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   std::cout << "Measuring saturation rate...\n";
   const bench::Anchors anchors = bench::compute_anchors(base);
   const double lambda_min = anchors.lambda_max / 3.0;  // F_min/F_max = 1/3
   std::cout << "lambda_sat = " << anchors.lambda_sat << "   lambda_max = " << anchors.lambda_max
             << "   lambda_min = " << lambda_min << "  (paper: sat 0.42, lambda_max 0.378)\n\n";
+
+  auto lambdas = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(12, 7));
+  // Make sure the λ_min knee itself is sampled: that is where the delay
+  // peak lives.
+  lambdas.push_back(lambda_min);
+  std::sort(lambdas.begin(), lambdas.end());
+
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd};
+  const auto recs =
+      h.sweep(bench::anchored(base, anchors),
+              {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)});
 
   common::Table table({"lambda", "region", "NoDVFS lat[cyc]", "RMSD lat[cyc]",
                        "NoDVFS delay[ns]", "RMSD delay[ns]", "RMSD freq[GHz]"});
@@ -33,16 +48,12 @@ int main() {
   double nodvfs_delay_at_peak = 0.0;
   double peak_lambda = 0.0;
 
-  auto sweep = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(12, 7));
-  // Make sure the λ_min knee itself is sampled: that is where the delay
-  // peak lives.
-  sweep.push_back(lambda_min);
-  std::sort(sweep.begin(), sweep.end());
-
-  for (const double lambda : sweep) {
-    const auto none = bench::run_policy(base, sim::Policy::NoDvfs, lambda, anchors);
-    const auto rmsd = bench::run_policy(base, sim::Policy::Rmsd, lambda, anchors);
-    const char* region = lambda < lambda_min ? "F=Fmin" : (lambda <= anchors.lambda_max ? "scaling" : "F=Fmax");
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const double lambda = lambdas[i];
+    const sim::RunResult& none = recs[i * policies.size() + 0].result;
+    const sim::RunResult& rmsd = recs[i * policies.size() + 1].result;
+    const char* region =
+        lambda < lambda_min ? "F=Fmin" : (lambda <= anchors.lambda_max ? "scaling" : "F=Fmax");
     table.add_row({common::Table::fmt(lambda, 3), region,
                    common::Table::fmt(none.avg_latency_cycles, 1),
                    common::Table::fmt(rmsd.avg_latency_cycles, 1),

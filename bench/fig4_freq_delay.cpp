@@ -7,6 +7,9 @@
 ///   (b) packet delay (ns) vs injection rate — the PI loop holds DMSD flat
 ///       at the target (RMSD's delay at λ_max); the paper annotates a 1.9×
 ///       RMSD/DMSD gap at mid load.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <iostream>
 
@@ -15,27 +18,34 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Figure 4", "No-DVFS vs RMSD vs DMSD: frequency and delay");
+int main(int argc, char** argv) {
+  bench::Harness h("Figure 4", "No-DVFS vs RMSD vs DMSD: frequency and delay");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   std::cout << "Measuring saturation rate...\n";
   const bench::Anchors anchors = bench::compute_anchors(base);
   std::cout << "lambda_max = " << anchors.lambda_max << "   DMSD target delay = "
             << common::Table::fmt(anchors.target_delay_ns, 1)
             << " ns (RMSD delay at lambda_max; paper: 150 ns)\n\n";
 
+  const auto lambdas = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(10, 6));
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd};
+  const auto recs =
+      h.sweep(bench::anchored(base, anchors),
+              {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)});
+
   common::Table table({"lambda", "F none", "F rmsd", "F dmsd", "delay none[ns]",
                        "delay rmsd[ns]", "delay dmsd[ns]", "rmsd/dmsd"});
   double worst_ratio = 0.0;
-  const auto sweep = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(10, 6));
-  for (const double lambda : sweep) {
-    const auto none = bench::run_policy(base, sim::Policy::NoDvfs, lambda, anchors);
-    const auto rmsd = bench::run_policy(base, sim::Policy::Rmsd, lambda, anchors);
-    const auto dmsd = bench::run_policy(base, sim::Policy::Dmsd, lambda, anchors);
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const sim::RunResult& none = recs[i * policies.size() + 0].result;
+    const sim::RunResult& rmsd = recs[i * policies.size() + 1].result;
+    const sim::RunResult& dmsd = recs[i * policies.size() + 2].result;
     const double ratio = rmsd.avg_delay_ns / dmsd.avg_delay_ns;
     worst_ratio = std::max(worst_ratio, ratio);
-    table.add_row({common::Table::fmt(lambda, 3),
+    table.add_row({common::Table::fmt(lambdas[i], 3),
                    common::Table::fmt(none.avg_frequency_hz / 1e9, 3),
                    common::Table::fmt(rmsd.avg_frequency_hz / 1e9, 3),
                    common::Table::fmt(dmsd.avg_frequency_hz / 1e9, 3),

@@ -5,22 +5,45 @@
 /// uses the calibrated alpha-power model pinned at the paper's anchors
 /// (0.56 V → 333 MHz, 0.90 V → 1 GHz). Also prints the discrete-level
 /// variants used by the footnote-2 ablation.
+///
+/// No simulation runs here — the curve is a pure model — so this bench
+/// uses a bare `common::Config` for its `key=value` overrides and
+/// `help=1` rather than the full Scenario harness.
 
 #include <iostream>
 
+#include "common/config.hpp"
 #include "common/table.hpp"
 #include "power/vf_curve.hpp"
 
 using namespace nocdvfs;
 
-int main() {
+int main(int argc, char** argv) {
+  common::Config c;
+  c.declare_double("vmin", 0.56, "lowest Vdd to tabulate [V]");
+  c.declare_double("vmax", 0.90, "highest Vdd to tabulate [V]");
+  c.declare_double("vstep", 0.02, "Vdd step [V]");
+  c.declare("levels", "4,8", "discrete-level variants to print");
+  c.declare_bool("help", false, "print declared keys and exit");
+  try {
+    c.parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (c.get_bool("help")) {
+    for (const auto& line : c.summary_lines()) std::cout << line << '\n';
+    return 0;
+  }
+
   std::cout << "=================================================================\n"
                "Figure 5 — Network clock frequency vs Vdd (28-nm FDSOI model)\n"
                "=================================================================\n";
 
   const power::VfCurve curve = power::VfCurve::fdsoi28();
   common::Table table({"Vdd [V]", "Fmax [GHz]", "Fmax/F(0.9V)"});
-  for (double v = 0.56; v <= 0.9001; v += 0.02) {
+  for (double v = c.get_double("vmin"); v <= c.get_double("vmax") + 1e-4;
+       v += c.get_double("vstep")) {
     const double f = curve.frequency_at(v);
     table.add_row({common::Table::fmt(v, 2), common::Table::fmt(f / 1e9, 3),
                    common::Table::fmt(f / curve.f_max(), 3)});
@@ -35,8 +58,9 @@ int main() {
   inv.print(std::cout);
 
   std::cout << "\nDiscrete-level variants (ablation C operating points):\n";
-  for (const int levels : {4, 8}) {
-    const power::VfCurve q = curve.quantized(levels);
+  for (const double levels_d : c.get_double_list("levels")) {
+    const int levels = static_cast<int>(levels_d);
+    const power::VfCurve q = curve.quantized(static_cast<std::size_t>(levels));
     std::cout << "  " << levels << " levels:";
     for (const double f : q.levels()) {
       std::cout << ' ' << common::Table::fmt(f / 1e9, 3) << "GHz@"

@@ -3,6 +3,9 @@
 /// for the three policies under the Fig. 2 scenario, with the paper's two
 /// annotated ratios at λ = 0.2: No-DVFS / DMSD ≈ 2.2× and
 /// DMSD / RMSD ≈ 1.3× — against a ≈90% delay penalty for RMSD (Fig. 4).
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <cmath>
 #include <iostream>
@@ -12,25 +15,33 @@
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Figure 6", "Total NoC power vs injection rate");
+int main(int argc, char** argv) {
+  bench::Harness h("Figure 6", "Total NoC power vs injection rate");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  const sim::ExperimentConfig base = bench::paper_default_config();
+  const sim::Scenario base = h.scenario();
   std::cout << "Measuring saturation rate...\n";
   const bench::Anchors anchors = bench::compute_anchors(base);
   std::cout << "lambda_max = " << anchors.lambda_max << "   DMSD target = "
             << common::Table::fmt(anchors.target_delay_ns, 1) << " ns\n\n";
+
+  const auto lambdas = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(10, 6));
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd};
+  const auto recs =
+      h.sweep(bench::anchored(base, anchors),
+              {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)});
 
   common::Table table({"lambda", "P none[mW]", "P rmsd[mW]", "P dmsd[mW]", "none/dmsd",
                        "dmsd/rmsd"});
   double best_02[3] = {0, 0, 0};
   double best_02_delay[2] = {0, 0};  // rmsd, dmsd delay at the 0.2 point
   double dist02 = 1e9;
-  const auto sweep = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(10, 6));
-  for (const double lambda : sweep) {
-    const auto none = bench::run_policy(base, sim::Policy::NoDvfs, lambda, anchors);
-    const auto rmsd = bench::run_policy(base, sim::Policy::Rmsd, lambda, anchors);
-    const auto dmsd = bench::run_policy(base, sim::Policy::Dmsd, lambda, anchors);
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const double lambda = lambdas[i];
+    const sim::RunResult& none = recs[i * policies.size() + 0].result;
+    const sim::RunResult& rmsd = recs[i * policies.size() + 1].result;
+    const sim::RunResult& dmsd = recs[i * policies.size() + 2].result;
     table.add_row({common::Table::fmt(lambda, 3), common::Table::fmt(none.power_mw(), 1),
                    common::Table::fmt(rmsd.power_mw(), 1),
                    common::Table::fmt(dmsd.power_mw(), 1),

@@ -4,20 +4,30 @@
 /// transpose, neighbor — each with its own measured saturation rate, on the
 /// default 5×5 router. The paper's annotations: RMSD/DMSD delay gaps of
 /// 2–2.5× and No-DVFS/DMSD power gaps of 1.2–1.4× (all at mid load).
+///
+/// Accepts `key=value` overrides and `help=1` (e.g. `patterns=tornado`
+/// `threads=8`); `csv=`/`json=` write machine-readable rows (see
+/// bench_common.hpp).
 
 #include <cmath>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
 using namespace nocdvfs;
 
-int main() {
-  bench::banner("Figure 7", "Synthetic patterns: delay and power, three policies");
+int main(int argc, char** argv) {
+  bench::Harness h("Figure 7", "Synthetic patterns: delay and power, three policies");
+  h.config().declare("patterns", "tornado,bitcomp,transpose,neighbor",
+                     "comma list of patterns to sweep");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
-  for (const std::string pattern : {"tornado", "bitcomp", "transpose", "neighbor"}) {
-    sim::ExperimentConfig base = bench::paper_default_config();
+  std::stringstream patterns(h.config().get_string("patterns"));
+  std::string pattern;
+  while (std::getline(patterns, pattern, ',')) {
+    sim::Scenario base = h.scenario();
     base.pattern = pattern;
     std::cout << "\n--- pattern: " << pattern << " ---\n";
     const bench::Anchors anchors = bench::compute_anchors(base);
@@ -26,15 +36,23 @@ int main() {
               << "   DMSD target = " << common::Table::fmt(anchors.target_delay_ns, 1)
               << " ns\n";
 
+    const auto lambdas = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(8, 5));
+    const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                               sim::Policy::Dmsd};
+    const auto recs =
+        h.sweep(bench::anchored(base, anchors),
+                {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)},
+                "pattern=" + pattern);
+
     common::Table table({"lambda", "delay none", "delay rmsd", "delay dmsd", "P none",
                          "P rmsd", "P dmsd", "d rmsd/dmsd", "P none/dmsd"});
     double mid_delay_ratio = 0.0, mid_power_ratio = 0.0, mid_lambda = 0.0;
     double dist = 1e9;
-    const auto sweep = bench::lambda_sweep(anchors.lambda_sat, bench::sweep_points(8, 5));
-    for (const double lambda : sweep) {
-      const auto none = bench::run_policy(base, sim::Policy::NoDvfs, lambda, anchors);
-      const auto rmsd = bench::run_policy(base, sim::Policy::Rmsd, lambda, anchors);
-      const auto dmsd = bench::run_policy(base, sim::Policy::Dmsd, lambda, anchors);
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+      const double lambda = lambdas[i];
+      const sim::RunResult& none = recs[i * policies.size() + 0].result;
+      const sim::RunResult& rmsd = recs[i * policies.size() + 1].result;
+      const sim::RunResult& dmsd = recs[i * policies.size() + 2].result;
       const double d_ratio = rmsd.avg_delay_ns / dmsd.avg_delay_ns;
       const double p_ratio = none.power_mw() / dmsd.power_mw();
       table.add_row({common::Table::fmt(lambda, 3), common::Table::fmt(none.avg_delay_ns, 1),

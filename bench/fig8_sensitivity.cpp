@@ -11,6 +11,9 @@
 /// three policies at two relative loads. The verdict column checks the
 /// paper's conclusion — delay penalty (×) exceeds power advantage (×) —
 /// which must hold for every variation.
+///
+/// Accepts `key=value` overrides and `help=1`; `csv=`/`json=` write
+/// machine-readable rows (see bench_common.hpp).
 
 #include <iostream>
 #include <string>
@@ -26,31 +29,30 @@ namespace {
 struct Variant {
   std::string family;
   std::string label;
-  sim::ExperimentConfig cfg;
+  sim::Scenario scenario;
 };
 
-std::vector<Variant> build_variants() {
+std::vector<Variant> build_variants(const sim::Scenario& base) {
   std::vector<Variant> out;
-  auto base = bench::paper_default_config;
   for (const int vcs : {2, 4, 8}) {
-    Variant v{"virtual channels", "VC=" + std::to_string(vcs), base()};
-    v.cfg.network.num_vcs = vcs;
+    Variant v{"virtual channels", "VC=" + std::to_string(vcs), base};
+    v.scenario.network.num_vcs = vcs;
     out.push_back(std::move(v));
   }
   for (const int bufs : {4, 8, 16}) {
-    Variant v{"VC buffers", "buf=" + std::to_string(bufs), base()};
-    v.cfg.network.vc_buffer_depth = bufs;
+    Variant v{"VC buffers", "buf=" + std::to_string(bufs), base};
+    v.scenario.network.vc_buffer_depth = bufs;
     out.push_back(std::move(v));
   }
   for (const int pkt : {10, 15, 20}) {
-    Variant v{"packet size", "pkt=" + std::to_string(pkt), base()};
-    v.cfg.packet_size = pkt;
+    Variant v{"packet size", "pkt=" + std::to_string(pkt), base};
+    v.scenario.packet_size = pkt;
     out.push_back(std::move(v));
   }
   for (const int mesh : {4, 5, 8}) {
-    Variant v{"mesh size", std::to_string(mesh) + "x" + std::to_string(mesh), base()};
-    v.cfg.network.width = mesh;
-    v.cfg.network.height = mesh;
+    Variant v{"mesh size", std::to_string(mesh) + "x" + std::to_string(mesh), base};
+    v.scenario.network.width = mesh;
+    v.scenario.network.height = mesh;
     out.push_back(std::move(v));
   }
   return out;
@@ -58,23 +60,33 @@ std::vector<Variant> build_variants() {
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 8", "Sensitivity: VCs, buffers, packet size, mesh size");
+int main(int argc, char** argv) {
+  bench::Harness h("Figure 8", "Sensitivity: VCs, buffers, packet size, mesh size");
+  if (!h.parse(argc, argv)) return h.exit_code();
 
   common::Table table({"family", "variant", "l_sat", "load", "delay none", "delay rmsd",
                        "delay dmsd", "P none", "P rmsd", "P dmsd", "d-ratio", "p-ratio",
                        "verdict"});
   int verdicts_ok = 0, verdicts_total = 0;
+  const std::vector<double> fracs = {0.45, 0.75};
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd};
 
-  for (const Variant& v : build_variants()) {
+  for (const Variant& v : build_variants(h.scenario())) {
     std::cout << "anchoring " << v.family << " / " << v.label << "...\n";
-    const bench::Anchors anchors = bench::compute_anchors(v.cfg);
+    const bench::Anchors anchors = bench::compute_anchors(v.scenario);
     // Two operating points: mid load and high load (fractions of λ_sat).
-    for (const double frac : {0.45, 0.75}) {
-      const double lambda = frac * anchors.lambda_sat;
-      const auto none = bench::run_policy(v.cfg, sim::Policy::NoDvfs, lambda, anchors);
-      const auto rmsd = bench::run_policy(v.cfg, sim::Policy::Rmsd, lambda, anchors);
-      const auto dmsd = bench::run_policy(v.cfg, sim::Policy::Dmsd, lambda, anchors);
+    std::vector<double> lambdas;
+    for (const double frac : fracs) lambdas.push_back(frac * anchors.lambda_sat);
+    const auto recs =
+        h.sweep(bench::anchored(v.scenario, anchors),
+                {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)},
+                v.family + "/" + v.label);
+
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+      const sim::RunResult& none = recs[i * policies.size() + 0].result;
+      const sim::RunResult& rmsd = recs[i * policies.size() + 1].result;
+      const sim::RunResult& dmsd = recs[i * policies.size() + 2].result;
       const double d_ratio = rmsd.avg_delay_ns / dmsd.avg_delay_ns;
       const double p_ratio = dmsd.power_mw() / rmsd.power_mw();
       // The paper's conclusion: the delay-based policy wins the trade-off,
@@ -83,7 +95,8 @@ int main() {
       verdicts_ok += ok ? 1 : 0;
       ++verdicts_total;
       table.add_row({v.family, v.label, common::Table::fmt(anchors.lambda_sat, 3),
-                     common::Table::fmt(lambda, 3), common::Table::fmt(none.avg_delay_ns, 1),
+                     common::Table::fmt(lambdas[i], 3),
+                     common::Table::fmt(none.avg_delay_ns, 1),
                      common::Table::fmt(rmsd.avg_delay_ns, 1),
                      common::Table::fmt(dmsd.avg_delay_ns, 1),
                      common::Table::fmt(none.power_mw(), 1),

@@ -6,9 +6,11 @@
 /// mapping (the quantity that actually enters the simulation).
 
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "apps/app_graphs.hpp"
+#include "common/config.hpp"
 #include "common/table.hpp"
 
 using namespace nocdvfs;
@@ -54,13 +56,33 @@ void dump(const apps::TaskGraph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // No simulation runs here — the graphs are static data — so this bench
+  // uses a bare `common::Config` for `key=value` overrides and `help=1`.
+  common::Config c;
+  c.declare("apps", "h264,vce", "comma list of graphs to dump");
+  c.declare_bool("help", false, "print declared keys and exit");
+  try {
+    c.parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (c.get_bool("help")) {
+    for (const auto& line : c.summary_lines()) std::cout << line << '\n';
+    return 0;
+  }
+
   std::cout << "=================================================================\n"
                "Figure 9 — H.264 and VCE communication graphs and NoC mapping\n"
                "=================================================================\n"
                "Edge connectivity reconstructed from the figure's vertex names and\n"
                "weight multiset (see DESIGN.md, substitution table).\n";
-  dump(apps::h264_encoder());
-  dump(apps::video_conference_encoder());
+  std::stringstream apps_list(c.get_string("apps"));
+  std::string app;
+  while (std::getline(apps_list, app, ',')) {
+    if (app == "h264") dump(apps::h264_encoder());
+    if (app == "vce") dump(apps::video_conference_encoder());
+  }
   return 0;
 }

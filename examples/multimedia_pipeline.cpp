@@ -2,9 +2,10 @@
 /// Runs a multimedia encoder workload (the paper's Sec. VI scenario) on
 /// the NoC under a chosen DVFS policy and reports the delay/power outcome
 /// per application speed step — the view a system designer would use to
-/// pick a policy for a streaming SoC.
+/// pick a policy for a streaming SoC. The speed × policy grid executes in
+/// parallel through `SweepRunner`.
 ///
-///   $ ./multimedia_pipeline app=vce policy=dmsd speeds=0.25,0.5,0.75,1.0
+///   $ ./multimedia_pipeline app=vce policies=dmsd speeds=0.25,0.5,0.75,1.0
 ///
 /// The rate matrix is calibrated so that speed 1.0 sits at 0.9× the
 /// measured saturation of the mapped workload (see DESIGN.md).
@@ -13,19 +14,23 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
 #include "sim/saturation.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 using namespace nocdvfs;
 
 int main(int argc, char** argv) {
+  sim::Scenario defaults;
+  defaults.workload = sim::Scenario::Workload::App;
+  defaults.phases.warmup_node_cycles = 80000;
+  defaults.phases.measure_node_cycles = 80000;
+
   common::Config c;
-  c.declare("app", "h264", "h264 (4x4 mesh) or vce (5x5 mesh)");
-  c.declare("policy", "all", "nodvfs|rmsd|dmsd|all");
+  sim::Scenario::declare_keys(c, defaults);
   c.declare("speeds", "0.25,0.5,0.75,1.0", "application speeds relative to 75 fps");
-  c.declare_int("packet", 20, "flits per packet");
-  c.declare_int("warmup", 80000, "warmup node cycles");
-  c.declare_int("measure", 80000, "measurement node cycles");
+  c.declare("policies", "all", "nodvfs|rmsd|dmsd|qbsd|all (overrides the policy key)");
+  c.declare_int("threads", 0, "sweep worker threads (0 = all cores)");
   c.declare_bool("help", false, "print declared keys and exit");
   try {
     c.parse_args(argc, argv);
@@ -38,11 +43,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::AppExperimentConfig base;
-  base.app = c.get_string("app");
-  base.packet_size = static_cast<int>(c.get_int("packet"));
-  base.phases.warmup_node_cycles = static_cast<std::uint64_t>(c.get_int("warmup"));
-  base.phases.measure_node_cycles = static_cast<std::uint64_t>(c.get_int("measure"));
+  sim::Scenario base = sim::Scenario::from_config(c);
+  base.workload = sim::Scenario::Workload::App;
 
   const apps::TaskGraph graph = sim::app_graph(base.app);
   std::cout << "app '" << graph.name() << "': " << graph.nodes().size() << " blocks on "
@@ -52,40 +54,46 @@ int main(int argc, char** argv) {
             << common::Table::fmt(graph.mean_hops(), 2) << "\n";
 
   // Calibrate: speed 1.0 = 0.9 × measured saturation of this workload.
-  base.traffic_scale = 0.35 / sim::app_mean_lambda(base);
+  base.speed = 1.0;
+  base.traffic_scale = 0.35 / sim::mean_lambda(base);
   sim::SaturationSearchOptions opt;
   opt.hi = 2.0;
   opt.warmup_node_cycles = 25000;
   opt.measure_node_cycles = 25000;
-  const double sat_speed = sim::find_app_saturation_speed(base, opt);
+  const double sat_speed = sim::find_saturation(base, opt);
   base.traffic_scale *= 0.9 * sat_speed;
-  const double lambda_max = sim::app_mean_lambda(base);
+  const double lambda_max = sim::mean_lambda(base);
 
-  sim::AppExperimentConfig probe = base;
-  probe.speed = 1.0;
+  sim::Scenario probe = base;
   probe.policy.policy = sim::Policy::NoDvfs;
-  const double target = sim::run_app_experiment(probe).avg_delay_ns;
+  const double target = sim::run(probe).avg_delay_ns;
   std::cout << "calibrated: lambda_max = " << common::Table::fmt(lambda_max, 3)
             << ", DMSD target = " << common::Table::fmt(target, 1) << " ns\n\n";
 
+  base.policy.lambda_max = lambda_max;
+  base.policy.target_delay_ns = target;
+
   std::vector<sim::Policy> policies;
-  if (c.get_string("policy") == "all") {
+  if (c.get_string("policies") == "all") {
     policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd, sim::Policy::Dmsd};
   } else {
-    policies = {sim::policy_from_string(c.get_string("policy"))};
+    policies = {sim::policy_from_string(c.get_string("policies"))};
   }
+  const std::vector<double> speeds = c.get_double_list("speeds");
+
+  sim::SweepRunner::Options ropt;
+  ropt.threads = static_cast<int>(c.get_int("threads"));
+  sim::SweepRunner runner(ropt);
+  const auto recs = runner.run(
+      base, {sim::SweepAxis::speed(speeds), sim::SweepAxis::policies(policies)},
+      "multimedia_pipeline");
 
   common::Table table({"speed", "policy", "delay[ns]", "p99[ns]", "freq[GHz]", "power[mW]",
                        "packets"});
-  for (const double speed : c.get_double_list("speeds")) {
-    for (const sim::Policy policy : policies) {
-      sim::AppExperimentConfig cfg = base;
-      cfg.speed = speed;
-      cfg.policy.policy = policy;
-      cfg.policy.lambda_max = lambda_max;
-      cfg.policy.target_delay_ns = target;
-      const sim::RunResult r = sim::run_app_experiment(cfg);
-      table.add_row({common::Table::fmt(speed, 2), sim::to_string(policy),
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const sim::RunResult& r = recs[i * policies.size() + p].result;
+      table.add_row({common::Table::fmt(speeds[i], 2), sim::to_string(policies[p]),
                      common::Table::fmt(r.avg_delay_ns, 1),
                      common::Table::fmt(r.p99_delay_ns, 1),
                      common::Table::fmt(r.avg_frequency_ghz(), 3),

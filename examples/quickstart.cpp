@@ -1,7 +1,8 @@
 /// \file quickstart.cpp
-/// Minimal tour of the public API: build the paper's default scenario
-/// (5×5 mesh, uniform traffic at λ = 0.2) and compare the three DVFS
-/// policies — No-DVFS, RMSD and DMSD — on delay, frequency and power.
+/// Minimal tour of the public API: describe the paper's default scenario
+/// (5×5 mesh, uniform traffic at λ = 0.2) as one `sim::Scenario` value and
+/// compare the three DVFS policies — No-DVFS, RMSD and DMSD — on delay,
+/// frequency and power with a one-axis `SweepRunner` sweep.
 ///
 ///   $ ./quickstart
 ///
@@ -12,14 +13,15 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
 #include "sim/saturation.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 using namespace nocdvfs;
 
 int main() {
-  // 1. The scenario: the paper's default router & mesh.
-  sim::ExperimentConfig cfg;
+  // 1. The scenario: the paper's default router & mesh, one value type.
+  sim::Scenario cfg;
   cfg.network.width = 5;
   cfg.network.height = 5;
   cfg.network.num_vcs = 8;
@@ -31,28 +33,31 @@ int main() {
   // 2. Anchor the policies: λ_max = 0.9 × measured saturation rate; the
   //    DMSD target is RMSD's delay at λ_node = λ_max (both per the paper).
   std::cout << "Measuring saturation rate (short probe runs)...\n";
-  const double lambda_sat = sim::find_saturation_rate(cfg);
+  const double lambda_sat = sim::find_saturation(cfg);
   const double lambda_max = 0.9 * lambda_sat;
 
-  sim::ExperimentConfig at_max = cfg;
+  sim::Scenario at_max = cfg;
   at_max.lambda = lambda_max;
   at_max.policy.policy = sim::Policy::NoDvfs;
-  const double target_delay_ns = sim::run_synthetic_experiment(at_max).avg_delay_ns;
+  const double target_delay_ns = sim::run(at_max).avg_delay_ns;
 
   std::cout << "lambda_sat = " << lambda_sat << " flits/cycle/node, lambda_max = " << lambda_max
             << ", DMSD target delay = " << target_delay_ns << " ns\n\n";
 
-  // 3. Run the three policies at the same offered load.
+  // 3. Sweep the policy axis at the same offered load — the runs execute
+  //    in parallel on the worker pool, results come back in axis order.
+  cfg.policy.lambda_max = lambda_max;
+  cfg.policy.target_delay_ns = target_delay_ns;
+  const std::vector<sim::Policy> policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd,
+                                             sim::Policy::Dmsd};
+  sim::SweepRunner runner;
+  const auto recs = runner.run(cfg, {sim::SweepAxis::policies(policies)}, "quickstart");
+
   common::Table table({"policy", "avg delay [ns]", "avg freq [GHz]", "avg Vdd [V]",
                        "power [mW]", "delivered λ"});
-  for (const sim::Policy policy :
-       {sim::Policy::NoDvfs, sim::Policy::Rmsd, sim::Policy::Dmsd}) {
-    sim::ExperimentConfig run = cfg;
-    run.policy.policy = policy;
-    run.policy.lambda_max = lambda_max;
-    run.policy.target_delay_ns = target_delay_ns;
-    const sim::RunResult r = sim::run_synthetic_experiment(run);
-    table.add_row({sim::to_string(policy), common::Table::fmt(r.avg_delay_ns, 1),
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const sim::RunResult& r = recs[i].result;
+    table.add_row({sim::to_string(policies[i]), common::Table::fmt(r.avg_delay_ns, 1),
                    common::Table::fmt(r.avg_frequency_ghz(), 3),
                    common::Table::fmt(r.avg_voltage, 3), common::Table::fmt(r.power_mw(), 1),
                    common::Table::fmt(r.delivered_flits_per_node_cycle, 3)});

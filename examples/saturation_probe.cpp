@@ -2,15 +2,18 @@
 /// Measures the saturation rate — the anchor of the RMSD policy — across
 /// router configurations and traffic patterns, showing how λ_sat moves
 /// with VCs, buffer depth, packet size and mesh size (the reason every
-/// bench re-anchors per configuration).
+/// bench re-anchors per configuration). Each probe is a bisection of
+/// `sim::find_saturation` over a `Scenario` variant.
 ///
 ///   $ ./saturation_probe patterns=uniform,tornado vcs=2,8
 
 #include <iostream>
+#include <sstream>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "sim/saturation.hpp"
+#include "sim/scenario.hpp"
 
 using namespace nocdvfs;
 
@@ -46,14 +49,14 @@ int main(int argc, char** argv) {
       for (const double vcs : c.get_double_list("vcs")) {
         for (const double bufs : c.get_double_list("bufs")) {
           for (const double pkt : c.get_double_list("packets")) {
-            sim::ExperimentConfig cfg;
+            sim::Scenario cfg;
             cfg.network.width = static_cast<int>(mesh);
             cfg.network.height = static_cast<int>(mesh);
             cfg.network.num_vcs = static_cast<int>(vcs);
             cfg.network.vc_buffer_depth = static_cast<int>(bufs);
             cfg.packet_size = static_cast<int>(pkt);
             cfg.pattern = pattern;
-            const double sat = sim::find_saturation_rate(cfg, opt);
+            const double sat = sim::find_saturation(cfg, opt);
             table.add_row({std::to_string(static_cast<int>(mesh)) + "x" +
                                std::to_string(static_cast<int>(mesh)),
                            pattern, common::Table::fmt(vcs, 0), common::Table::fmt(bufs, 0),

@@ -1,49 +1,35 @@
 /// \file synthetic_explorer.cpp
 /// Command-line sweep tool over the synthetic-traffic experiment space.
-/// Every knob of the paper's Secs. III–V is exposed as key=value, e.g.:
+/// Every knob of the paper's Secs. III–V is exposed as key=value via
+/// `Scenario::declare_keys`, e.g.:
 ///
-///   $ ./synthetic_explorer pattern=tornado policy=dmsd width=8 height=8
+///   $ ./synthetic_explorer pattern=tornado policies=dmsd width=8 height=8
 ///
-/// Pass policy=all to compare nodvfs/rmsd/dmsd side by side.
+/// Pass policies=all to compare nodvfs/rmsd/dmsd side by side; the
+/// lambda × policy grid executes in parallel through `SweepRunner`.
 
 #include <iostream>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
 #include "sim/saturation.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 using namespace nocdvfs;
 
-namespace {
-
-common::Config make_config() {
-  common::Config c;
-  c.declare_int("width", 5, "mesh width");
-  c.declare_int("height", 5, "mesh height");
-  c.declare_int("vcs", 8, "virtual channels per port");
-  c.declare_int("bufs", 4, "flit buffers per VC");
-  c.declare_int("packet", 20, "flits per packet");
-  c.declare("pattern", "uniform", "traffic pattern");
-  c.declare("process", "bernoulli", "injection process (bernoulli|onoff)");
-  c.declare("policy", "all", "nodvfs|rmsd|rmsd-closed|dmsd|qbsd|all");
-  c.declare("lambdas", "0.05,0.1,0.15,0.2,0.25,0.3,0.35", "offered loads to sweep");
-  c.declare_double("lambda_max", 0.0, "RMSD target load (0 = 0.9×measured saturation)");
-  c.declare_double("target_delay_ns", 0.0, "DMSD target (0 = RMSD delay at lambda_max)");
-  c.declare_int("control_period", 10000, "control update period in node cycles");
-  c.declare_int("vf_levels", 0, "discrete V/F levels (0 = continuous)");
-  c.declare_int("warmup", 120000, "warmup node cycles");
-  c.declare_int("measure", 100000, "measurement node cycles");
-  c.declare_int("seed", 1, "random seed");
-  c.declare_bool("help", false, "print declared keys and exit");
-  return c;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  common::Config c = make_config();
+  sim::Scenario defaults;
+  defaults.policy.lambda_max = 0.0;       // 0 = derive from measured saturation
+  defaults.policy.target_delay_ns = 0.0;  // 0 = RMSD delay at lambda_max
+
+  common::Config c;
+  sim::Scenario::declare_keys(c, defaults);
+  c.declare("lambdas", "0.05,0.1,0.15,0.2,0.25,0.3,0.35", "offered loads to sweep");
+  c.declare("policies", "all", "nodvfs|rmsd|rmsd-closed|dmsd|qbsd|all (overrides policy)");
+  c.declare_int("threads", 0, "sweep worker threads (0 = all cores)");
+  c.declare_bool("help", false, "print declared keys and exit");
   try {
     c.parse_args(argc, argv);
   } catch (const std::exception& e) {
@@ -55,55 +41,45 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sim::ExperimentConfig base;
-  base.network.width = static_cast<int>(c.get_int("width"));
-  base.network.height = static_cast<int>(c.get_int("height"));
-  base.network.num_vcs = static_cast<int>(c.get_int("vcs"));
-  base.network.vc_buffer_depth = static_cast<int>(c.get_int("bufs"));
-  base.packet_size = static_cast<int>(c.get_int("packet"));
-  base.pattern = c.get_string("pattern");
-  base.process = c.get_string("process");
-  base.control_period = static_cast<std::uint64_t>(c.get_int("control_period"));
-  base.vf_levels = static_cast<int>(c.get_int("vf_levels"));
-  base.seed = static_cast<std::uint64_t>(c.get_int("seed"));
-  base.phases.warmup_node_cycles = static_cast<std::uint64_t>(c.get_int("warmup"));
-  base.phases.measure_node_cycles = static_cast<std::uint64_t>(c.get_int("measure"));
+  sim::Scenario base = sim::Scenario::from_config(c);
 
-  double lambda_max = c.get_double("lambda_max");
-  if (lambda_max <= 0.0) {
-    const double sat = sim::find_saturation_rate(base);
-    lambda_max = 0.9 * sat;
-    std::cout << "# measured lambda_sat=" << sat << "  lambda_max=" << lambda_max << "\n";
+  if (base.policy.lambda_max <= 0.0) {
+    const double sat = sim::find_saturation(base);
+    base.policy.lambda_max = 0.9 * sat;
+    std::cout << "# measured lambda_sat=" << sat << "  lambda_max=" << base.policy.lambda_max
+              << "\n";
   }
-  base.policy.lambda_max = lambda_max;
-
-  double target = c.get_double("target_delay_ns");
-  if (target <= 0.0) {
-    sim::ExperimentConfig probe = base;
-    probe.lambda = lambda_max;
+  if (base.policy.target_delay_ns <= 0.0) {
+    sim::Scenario probe = base;
+    probe.lambda = base.policy.lambda_max;
     probe.policy.policy = sim::Policy::NoDvfs;
-    target = sim::run_synthetic_experiment(probe).avg_delay_ns;
-    std::cout << "# DMSD target delay = " << target << " ns (RMSD delay at lambda_max)\n";
+    base.policy.target_delay_ns = sim::run(probe).avg_delay_ns;
+    std::cout << "# DMSD target delay = " << base.policy.target_delay_ns
+              << " ns (RMSD delay at lambda_max)\n";
   }
-  base.policy.target_delay_ns = target;
 
   std::vector<sim::Policy> policies;
-  const std::string policy_str = c.get_string("policy");
+  const std::string policy_str = c.get_string("policies");
   if (policy_str == "all") {
     policies = {sim::Policy::NoDvfs, sim::Policy::Rmsd, sim::Policy::Dmsd};
   } else {
     policies = {sim::policy_from_string(policy_str)};
   }
+  const std::vector<double> lambdas = c.get_double_list("lambdas");
+
+  sim::SweepRunner::Options ropt;
+  ropt.threads = static_cast<int>(c.get_int("threads"));
+  sim::SweepRunner runner(ropt);
+  const auto recs = runner.run(
+      base, {sim::SweepAxis::lambda(lambdas), sim::SweepAxis::policies(policies)},
+      "synthetic_explorer");
 
   common::Table table({"lambda", "policy", "delay[ns]", "p99[ns]", "lat[cyc]", "freq[GHz]",
                        "Vdd[V]", "power[mW]", "delivered", "sat?"});
-  for (const double lambda : c.get_double_list("lambdas")) {
-    for (const sim::Policy policy : policies) {
-      sim::ExperimentConfig run = base;
-      run.lambda = lambda;
-      run.policy.policy = policy;
-      const sim::RunResult r = sim::run_synthetic_experiment(run);
-      table.add_row({common::Table::fmt(lambda, 3), sim::to_string(policy),
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const sim::RunResult& r = recs[i * policies.size() + p].result;
+      table.add_row({common::Table::fmt(lambdas[i], 3), sim::to_string(policies[p]),
                      common::Table::fmt(r.avg_delay_ns, 1), common::Table::fmt(r.p99_delay_ns, 1),
                      common::Table::fmt(r.avg_latency_cycles, 1),
                      common::Table::fmt(r.avg_frequency_ghz(), 3),

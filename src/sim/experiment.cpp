@@ -1,141 +1,66 @@
 #include "sim/experiment.hpp"
 
-#include <stdexcept>
-
-#include "apps/app_graphs.hpp"
-#include "dvfs/dmsd.hpp"
-#include "dvfs/qbsd.hpp"
-#include "dvfs/rmsd.hpp"
-#include "traffic/traffic_model.hpp"
-
 namespace nocdvfs::sim {
 
-const char* to_string(Policy policy) noexcept {
-  switch (policy) {
-    case Policy::NoDvfs: return "nodvfs";
-    case Policy::Rmsd: return "rmsd";
-    case Policy::RmsdClosed: return "rmsd-closed";
-    case Policy::Dmsd: return "dmsd";
-    case Policy::Qbsd: return "qbsd";
-  }
-  return "?";
+Scenario to_scenario(const ExperimentConfig& cfg) {
+  Scenario s;
+  s.workload = Scenario::Workload::Synthetic;
+  s.network = cfg.network;
+  s.packet_size = cfg.packet_size;
+  s.pattern = cfg.pattern;
+  s.process = cfg.process;
+  s.lambda = cfg.lambda;
+  s.hotspot_fraction = cfg.hotspot_fraction;
+  s.policy = cfg.policy;
+  s.control_period = cfg.control_period;
+  s.f_node = cfg.f_node;
+  s.vf_levels = cfg.vf_levels;
+  s.flit_bits = cfg.flit_bits;
+  s.seed = cfg.seed;
+  s.phases = cfg.phases;
+  return s;
 }
 
-Policy policy_from_string(const std::string& name) {
-  if (name == "nodvfs") return Policy::NoDvfs;
-  if (name == "rmsd") return Policy::Rmsd;
-  if (name == "rmsd-closed") return Policy::RmsdClosed;
-  if (name == "dmsd") return Policy::Dmsd;
-  if (name == "qbsd") return Policy::Qbsd;
-  throw std::invalid_argument("policy_from_string: unknown policy '" + name + "'");
+Scenario to_scenario(const AppExperimentConfig& cfg) {
+  Scenario s;
+  s.workload = Scenario::Workload::App;
+  s.app = cfg.app;
+  s.speed = cfg.speed;
+  s.traffic_scale = cfg.traffic_scale;
+  s.packet_size = cfg.packet_size;
+  s.network.num_vcs = cfg.num_vcs;
+  s.network.vc_buffer_depth = cfg.vc_buffer_depth;
+  s.policy = cfg.policy;
+  s.control_period = cfg.control_period;
+  s.f_node = cfg.f_node;
+  s.vf_levels = cfg.vf_levels;
+  s.flit_bits = cfg.flit_bits;
+  s.seed = cfg.seed;
+  s.phases = cfg.phases;
+  return s;
 }
-
-std::unique_ptr<dvfs::DvfsController> make_controller(const PolicyConfig& cfg) {
-  switch (cfg.policy) {
-    case Policy::NoDvfs:
-      return std::make_unique<dvfs::NoDvfsController>();
-    case Policy::Rmsd: {
-      dvfs::RmsdConfig rc;
-      rc.lambda_max = cfg.lambda_max;
-      rc.mode = dvfs::RmsdConfig::Mode::OpenLoop;
-      return std::make_unique<dvfs::RmsdController>(rc);
-    }
-    case Policy::RmsdClosed: {
-      dvfs::RmsdConfig rc;
-      rc.lambda_max = cfg.lambda_max;
-      rc.mode = dvfs::RmsdConfig::Mode::ClosedLoop;
-      return std::make_unique<dvfs::RmsdController>(rc);
-    }
-    case Policy::Dmsd: {
-      dvfs::DmsdConfig dc;
-      dc.target_delay_ns = cfg.target_delay_ns;
-      dc.ki = cfg.ki;
-      dc.kp = cfg.kp;
-      return std::make_unique<dvfs::DmsdController>(dc);
-    }
-    case Policy::Qbsd: {
-      dvfs::QbsdConfig qc;
-      qc.occupancy_setpoint = cfg.occupancy_setpoint;
-      return std::make_unique<dvfs::QbsdController>(qc);
-    }
-  }
-  throw std::invalid_argument("make_controller: unhandled policy");
-}
-
-namespace {
-
-power::VfCurve make_curve(int vf_levels) {
-  power::VfCurve curve = power::VfCurve::fdsoi28();
-  if (vf_levels > 0) curve = curve.quantized(static_cast<std::size_t>(vf_levels));
-  return curve;
-}
-
-}  // namespace
 
 RunResult run_synthetic_experiment(const ExperimentConfig& cfg) {
-  SimulatorConfig sim_cfg;
-  sim_cfg.network = cfg.network;
-  sim_cfg.f_node = cfg.f_node;
-  sim_cfg.control_period_node_cycles = cfg.control_period;
-  sim_cfg.flit_bits = cfg.flit_bits;
+  return run(to_scenario(cfg));
+}
 
-  noc::MeshTopology topo(cfg.network.width, cfg.network.height);
-  traffic::SyntheticTrafficParams tp;
-  tp.lambda = cfg.lambda;
-  tp.packet_size = cfg.packet_size;
-  tp.pattern = cfg.pattern;
-  tp.process = cfg.process;
-  tp.seed = cfg.seed;
-  tp.hotspot_fraction = cfg.hotspot_fraction;
-
-  Simulator simulator(sim_cfg, std::make_unique<traffic::SyntheticTraffic>(topo, tp),
-                      make_controller(cfg.policy), make_curve(cfg.vf_levels));
-  return simulator.run(cfg.phases);
+RunResult run_app_experiment(const AppExperimentConfig& cfg) {
+  return run(to_scenario(cfg));
 }
 
 RunResult run_custom_experiment(const SimulatorConfig& sim_cfg,
                                 std::unique_ptr<traffic::TrafficModel> traffic_model,
                                 const PolicyConfig& policy, int vf_levels,
                                 const RunPhases& phases) {
+  power::VfCurve curve = power::VfCurve::fdsoi28();
+  if (vf_levels > 0) curve = curve.quantized(static_cast<std::size_t>(vf_levels));
   Simulator simulator(sim_cfg, std::move(traffic_model), make_controller(policy),
-                      make_curve(vf_levels));
+                      std::move(curve));
   return simulator.run(phases);
 }
 
-apps::TaskGraph app_graph(const std::string& app) {
-  if (app == "h264") return apps::h264_encoder();
-  if (app == "vce") return apps::video_conference_encoder();
-  throw std::invalid_argument("app_graph: unknown app '" + app + "' (use h264 or vce)");
-}
-
 double app_mean_lambda(const AppExperimentConfig& cfg) {
-  const apps::TaskGraph graph = app_graph(cfg.app);
-  return cfg.traffic_scale *
-         graph.mean_lambda(apps::kReferenceFps * cfg.speed, cfg.packet_size, cfg.f_node);
-}
-
-RunResult run_app_experiment(const AppExperimentConfig& cfg) {
-  const apps::TaskGraph graph = app_graph(cfg.app);
-
-  SimulatorConfig sim_cfg;
-  sim_cfg.network.width = graph.mesh_width();
-  sim_cfg.network.height = graph.mesh_height();
-  sim_cfg.network.num_vcs = cfg.num_vcs;
-  sim_cfg.network.vc_buffer_depth = cfg.vc_buffer_depth;
-  sim_cfg.f_node = cfg.f_node;
-  sim_cfg.control_period_node_cycles = cfg.control_period;
-  sim_cfg.flit_bits = cfg.flit_bits;
-
-  auto rates = graph.rate_matrix_pps(apps::kReferenceFps * cfg.speed);
-  for (auto& row : rates) {
-    for (double& r : row) r *= cfg.traffic_scale;
-  }
-  Simulator simulator(
-      sim_cfg,
-      std::make_unique<traffic::MatrixTraffic>(std::move(rates), cfg.packet_size, cfg.f_node,
-                                               cfg.seed),
-      make_controller(cfg.policy), make_curve(cfg.vf_levels));
-  return simulator.run(cfg.phases);
+  return mean_lambda(to_scenario(cfg));
 }
 
 }  // namespace nocdvfs::sim

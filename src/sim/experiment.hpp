@@ -1,39 +1,24 @@
 #pragma once
 
 /// \file experiment.hpp
-/// One-shot experiment runner shared by tests, examples and every bench:
-/// a declarative config (network, workload, policy, phases) in; a
-/// RunResult out. This is the reproduction of the paper's experimental
-/// methodology — each figure is a sweep over these configs.
+/// DEPRECATED compatibility layer over `sim/scenario.hpp`.
+///
+/// The experiment API was unified behind the declarative `sim::Scenario`
+/// value type plus `sim::run(scenario)`; the three historical entry points
+/// (`run_synthetic_experiment`, `run_app_experiment`,
+/// `run_custom_experiment`) and their config structs remain as thin
+/// wrappers so existing callers migrate incrementally. New code should
+/// construct a `Scenario` (see also `sim/sweep.hpp` for multi-point
+/// sweeps) instead of using anything in this header.
 
 #include <memory>
 #include <string>
 
-#include "apps/task_graph.hpp"
-#include "dvfs/controller.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
 
-enum class Policy { NoDvfs, Rmsd, RmsdClosed, Dmsd, Qbsd };
-
-const char* to_string(Policy policy) noexcept;
-Policy policy_from_string(const std::string& name);
-
-/// Policy parameters (only the fields relevant to the chosen policy are
-/// read: lambda_max for RMSD, target/gains for DMSD).
-struct PolicyConfig {
-  Policy policy = Policy::NoDvfs;
-  double lambda_max = 0.378;      ///< RMSD target network load (flits/noc-cycle/node)
-  double target_delay_ns = 150.0; ///< DMSD delay target
-  double ki = 0.025;              ///< paper's integral gain
-  double kp = 0.0125;             ///< paper's proportional gain
-  double occupancy_setpoint = 0.15;  ///< QBSD buffer-occupancy target (fraction)
-};
-
-std::unique_ptr<dvfs::DvfsController> make_controller(const PolicyConfig& cfg);
-
-/// Synthetic-traffic experiment (the paper's Secs. III–V).
+/// DEPRECATED: use Scenario with workload == Synthetic.
 struct ExperimentConfig {
   noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
   int packet_size = 20;
@@ -51,9 +36,7 @@ struct ExperimentConfig {
   RunPhases phases{};
 };
 
-RunResult run_synthetic_experiment(const ExperimentConfig& cfg);
-
-/// Multimedia (task-graph) experiment (the paper's Sec. VI).
+/// DEPRECATED: use Scenario with workload == App.
 struct AppExperimentConfig {
   std::string app = "h264";    ///< "h264" (4×4) or "vce" (5×5)
   double speed = 1.0;          ///< relative to 75 frames/s
@@ -71,22 +54,25 @@ struct AppExperimentConfig {
   RunPhases phases{};
 };
 
+/// Lossless conversions into the unified Scenario type.
+Scenario to_scenario(const ExperimentConfig& cfg);
+Scenario to_scenario(const AppExperimentConfig& cfg);
+
+/// DEPRECATED: `run(to_scenario(cfg))`.
+RunResult run_synthetic_experiment(const ExperimentConfig& cfg);
+
+/// DEPRECATED: `run(to_scenario(cfg))`.
 RunResult run_app_experiment(const AppExperimentConfig& cfg);
 
-/// Escape hatch for workloads beyond the declarative configs (request–
-/// reply, step loads, custom matrices): assemble a simulator around a
-/// caller-provided traffic model and run the standard phase protocol.
+/// DEPRECATED: build a Scenario with workload == Custom and a
+/// traffic_factory instead. Note the factory form can re-run and sweep;
+/// this one-shot form consumes its traffic model.
 RunResult run_custom_experiment(const SimulatorConfig& sim_cfg,
                                 std::unique_ptr<traffic::TrafficModel> traffic_model,
                                 const PolicyConfig& policy, int vf_levels,
                                 const RunPhases& phases);
 
-/// The task graph behind an app name; throws std::invalid_argument for
-/// unknown names.
-apps::TaskGraph app_graph(const std::string& app);
-
-/// Mean offered load (flits/node-cycle/node) of an app configuration — the
-/// quantity the multimedia benches report alongside the speed axis.
+/// DEPRECATED: `mean_lambda(to_scenario(cfg))`.
 double app_mean_lambda(const AppExperimentConfig& cfg);
 
 }  // namespace nocdvfs::sim

@@ -22,26 +22,29 @@ ReplicatedMetric aggregate(const common::RunningStats& s) {
 
 }  // namespace
 
-ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
-                                     std::uint64_t base_seed) {
+ReplicatedResult replicate(const Scenario& scenario, int replications,
+                           std::uint64_t base_seed, int threads) {
   if (replications < 1) {
-    throw std::invalid_argument("replicate_synthetic: need at least one replication");
+    throw std::invalid_argument("replicate: need at least one replication");
   }
+  SweepRunner::Options opt;
+  opt.threads = threads;
+  SweepRunner runner(opt);
+  std::vector<SweepRecord> records =
+      runner.run(scenario, {SweepAxis::seeds(replications, base_seed)}, "replication");
+
   ReplicatedResult out;
   out.replications = replications;
-  out.runs.reserve(static_cast<std::size_t>(replications));
+  out.runs.reserve(records.size());
 
   common::RunningStats delay, latency, power, freq, delivered;
-  for (int i = 0; i < replications; ++i) {
-    ExperimentConfig run_cfg = cfg;
-    run_cfg.seed = base_seed + static_cast<std::uint64_t>(i);
-    RunResult r = run_synthetic_experiment(run_cfg);
-    delay.add(r.avg_delay_ns);
-    latency.add(r.avg_latency_cycles);
-    power.add(r.power_mw());
-    freq.add(r.avg_frequency_ghz());
-    delivered.add(r.delivered_flits_per_node_cycle);
-    out.runs.push_back(std::move(r));
+  for (SweepRecord& rec : records) {
+    delay.add(rec.result.avg_delay_ns);
+    latency.add(rec.result.avg_latency_cycles);
+    power.add(rec.result.power_mw());
+    freq.add(rec.result.avg_frequency_ghz());
+    delivered.add(rec.result.delivered_flits_per_node_cycle);
+    out.runs.push_back(std::move(rec.result));
   }
   out.delay_ns = aggregate(delay);
   out.latency_cycles = aggregate(latency);
@@ -49,6 +52,11 @@ ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replicatio
   out.frequency_ghz = aggregate(freq);
   out.delivered_lambda = aggregate(delivered);
   return out;
+}
+
+ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
+                                     std::uint64_t base_seed) {
+  return replicate(to_scenario(cfg), replications, base_seed);
 }
 
 }  // namespace nocdvfs::sim

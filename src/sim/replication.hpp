@@ -1,15 +1,18 @@
 #pragma once
 
 /// \file replication.hpp
-/// Multi-seed replication: run the same experiment across independent
+/// Multi-seed replication: run the same scenario across independent
 /// seeds and report mean / stddev / 95% confidence half-width for the
 /// headline metrics. A single cycle-accurate run is one sample of a
 /// stochastic process; publication-grade comparisons (and regression
-/// gates in CI) need the spread.
+/// gates in CI) need the spread. Replications execute through
+/// `SweepRunner`, so they parallelize across cores while the aggregation
+/// order (and hence the statistics) stays deterministic.
 
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace nocdvfs::sim {
 
@@ -32,8 +35,13 @@ struct ReplicatedResult {
   std::vector<RunResult> runs;  ///< the raw samples, in seed order
 };
 
-/// Run `cfg` under seeds base_seed, base_seed+1, ... and aggregate.
-/// Throws std::invalid_argument for replications < 1.
+/// Run `scenario` under seeds base_seed, base_seed+1, ... and aggregate.
+/// Throws std::invalid_argument for replications < 1. `threads` follows
+/// SweepRunner::Options semantics (0 = hardware concurrency).
+ReplicatedResult replicate(const Scenario& scenario, int replications,
+                           std::uint64_t base_seed = 1, int threads = 0);
+
+/// DEPRECATED: `replicate(to_scenario(cfg), replications, base_seed)`.
 ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
                                      std::uint64_t base_seed = 1);
 

@@ -39,54 +39,42 @@ double bisect(double lo, double hi, double resolution, SaturatedAt&& saturated_a
   return lo;
 }
 
-}  // namespace
-
-double find_saturation_rate(ExperimentConfig base, const SaturationSearchOptions& opt) {
-  validate(opt);
-  base.policy.policy = Policy::NoDvfs;
-  base.phases = probe_phases(opt);
-
+double find_synthetic_saturation(Scenario base, const SaturationSearchOptions& opt) {
   // Zero-load latency reference for the knee criterion.
   double knee_latency_cycles = 0.0;
   if (opt.latency_knee_factor > 0.0) {
-    ExperimentConfig probe = base;
+    Scenario probe = base;
     probe.lambda = opt.zero_load_lambda;
-    knee_latency_cycles =
-        opt.latency_knee_factor * run_synthetic_experiment(probe).avg_latency_cycles;
+    knee_latency_cycles = opt.latency_knee_factor * run(probe).avg_latency_cycles;
   }
 
   auto saturated_at = [&](double lambda) {
-    // Loads beyond one flit per node cycle cannot even be generated.
+    // Loads beyond one packet per node cycle cannot even be generated.
     if (lambda / base.packet_size > 1.0) return true;
-    ExperimentConfig probe = base;
+    Scenario probe = base;
     probe.lambda = lambda;
-    const RunResult r = run_synthetic_experiment(probe);
+    const RunResult r = run(probe);
     if (r.saturated) return true;
     return knee_latency_cycles > 0.0 && r.avg_latency_cycles > knee_latency_cycles;
   };
   return bisect(opt.lo, opt.hi, opt.resolution, saturated_at);
 }
 
-double find_app_saturation_speed(AppExperimentConfig base, const SaturationSearchOptions& opt) {
-  validate(opt);
-  base.policy.policy = Policy::NoDvfs;
-  base.phases = probe_phases(opt);
-
+double find_app_saturation(Scenario base, const SaturationSearchOptions& opt) {
   double knee_latency_cycles = 0.0;
   if (opt.latency_knee_factor > 0.0) {
-    AppExperimentConfig probe = base;
+    Scenario probe = base;
     probe.speed = opt.zero_load_lambda;  // interpreted as a low relative speed
-    knee_latency_cycles =
-        opt.latency_knee_factor * run_app_experiment(probe).avg_latency_cycles;
+    knee_latency_cycles = opt.latency_knee_factor * run(probe).avg_latency_cycles;
   }
 
   auto saturated_at = [&](double speed) {
-    AppExperimentConfig probe = base;
+    Scenario probe = base;
     probe.speed = speed;
     // MatrixTraffic rejects speeds that exceed one packet per node cycle at
     // any source — definitionally saturated.
     try {
-      const RunResult r = run_app_experiment(probe);
+      const RunResult r = run(probe);
       if (r.saturated) return true;
       return knee_latency_cycles > 0.0 && r.avg_latency_cycles > knee_latency_cycles;
     } catch (const std::invalid_argument&) {
@@ -94,6 +82,32 @@ double find_app_saturation_speed(AppExperimentConfig base, const SaturationSearc
     }
   };
   return bisect(opt.lo, opt.hi, opt.resolution, saturated_at);
+}
+
+}  // namespace
+
+double find_saturation(Scenario base, const SaturationSearchOptions& opt) {
+  validate(opt);
+  base.policy.policy = Policy::NoDvfs;
+  base.phases = probe_phases(opt);
+  switch (base.workload) {
+    case Scenario::Workload::Synthetic:
+      return find_synthetic_saturation(std::move(base), opt);
+    case Scenario::Workload::App:
+      return find_app_saturation(std::move(base), opt);
+    case Scenario::Workload::Custom:
+      break;
+  }
+  throw std::invalid_argument(
+      "find_saturation: custom workloads have no declarative load axis to bisect");
+}
+
+double find_saturation_rate(ExperimentConfig base, const SaturationSearchOptions& opt) {
+  return find_saturation(to_scenario(base), opt);
+}
+
+double find_app_saturation_speed(AppExperimentConfig base, const SaturationSearchOptions& opt) {
+  return find_saturation(to_scenario(base), opt);
 }
 
 }  // namespace nocdvfs::sim

@@ -12,6 +12,7 @@
 /// materially or delivery lags generation (RunResult::saturated).
 
 #include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
 
@@ -30,12 +31,18 @@ struct SaturationSearchOptions {
   double zero_load_lambda = 0.05;
 };
 
-/// Saturation rate (flits/node-cycle/node) for the synthetic configuration
-/// in `base` (policy/phases fields are ignored; probes use No-DVFS).
+/// Saturation point of `base`'s workload, probed with No-DVFS runs
+/// (policy/phases fields of `base` are ignored). The bisected quantity —
+/// and hence the returned value — depends on the workload variant:
+/// offered λ (flits/node-cycle/node) for Synthetic, relative application
+/// speed for App at the scenario's traffic_scale. Custom workloads throw
+/// std::invalid_argument (their load axis is not expressible here).
+double find_saturation(Scenario base, const SaturationSearchOptions& opt = {});
+
+/// DEPRECATED: `find_saturation(to_scenario(base), opt)`.
 double find_saturation_rate(ExperimentConfig base, const SaturationSearchOptions& opt = {});
 
-/// Saturation application speed (relative units) for the app configuration
-/// in `base` at its current traffic_scale.
+/// DEPRECATED: `find_saturation(to_scenario(base), opt)`.
 double find_app_saturation_speed(AppExperimentConfig base,
                                  const SaturationSearchOptions& opt = {});
 

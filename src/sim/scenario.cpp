@@ -1,0 +1,275 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "apps/app_graphs.hpp"
+#include "dvfs/dmsd.hpp"
+#include "dvfs/qbsd.hpp"
+#include "dvfs/rmsd.hpp"
+
+namespace nocdvfs::sim {
+
+const char* to_string(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::NoDvfs: return "nodvfs";
+    case Policy::Rmsd: return "rmsd";
+    case Policy::RmsdClosed: return "rmsd-closed";
+    case Policy::Dmsd: return "dmsd";
+    case Policy::Qbsd: return "qbsd";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr Policy kAllPolicies[] = {Policy::NoDvfs, Policy::Rmsd, Policy::RmsdClosed,
+                                   Policy::Dmsd, Policy::Qbsd};
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return out;
+}
+
+}  // namespace
+
+Policy policy_from_string(const std::string& name) {
+  const std::string lowered = to_lower(name);
+  for (const Policy p : kAllPolicies) {
+    if (lowered == to_string(p)) return p;
+  }
+  std::ostringstream os;
+  os << "policy_from_string: unknown policy '" << name << "' (valid:";
+  for (const Policy p : kAllPolicies) os << ' ' << to_string(p);
+  os << ')';
+  throw std::invalid_argument(os.str());
+}
+
+std::unique_ptr<dvfs::DvfsController> make_controller(const PolicyConfig& cfg) {
+  switch (cfg.policy) {
+    case Policy::NoDvfs:
+      return std::make_unique<dvfs::NoDvfsController>();
+    case Policy::Rmsd: {
+      dvfs::RmsdConfig rc;
+      rc.lambda_max = cfg.lambda_max;
+      rc.mode = dvfs::RmsdConfig::Mode::OpenLoop;
+      return std::make_unique<dvfs::RmsdController>(rc);
+    }
+    case Policy::RmsdClosed: {
+      dvfs::RmsdConfig rc;
+      rc.lambda_max = cfg.lambda_max;
+      rc.mode = dvfs::RmsdConfig::Mode::ClosedLoop;
+      return std::make_unique<dvfs::RmsdController>(rc);
+    }
+    case Policy::Dmsd: {
+      dvfs::DmsdConfig dc;
+      dc.target_delay_ns = cfg.target_delay_ns;
+      dc.ki = cfg.ki;
+      dc.kp = cfg.kp;
+      return std::make_unique<dvfs::DmsdController>(dc);
+    }
+    case Policy::Qbsd: {
+      dvfs::QbsdConfig qc;
+      qc.occupancy_setpoint = cfg.occupancy_setpoint;
+      return std::make_unique<dvfs::QbsdController>(qc);
+    }
+  }
+  throw std::invalid_argument("make_controller: unhandled policy");
+}
+
+apps::TaskGraph app_graph(const std::string& app) {
+  if (app == "h264") return apps::h264_encoder();
+  if (app == "vce") return apps::video_conference_encoder();
+  throw std::invalid_argument("app_graph: unknown app '" + app + "' (use h264 or vce)");
+}
+
+const char* to_string(Scenario::Workload workload) noexcept {
+  switch (workload) {
+    case Scenario::Workload::Synthetic: return "synthetic";
+    case Scenario::Workload::App: return "app";
+    case Scenario::Workload::Custom: return "custom";
+  }
+  return "?";
+}
+
+namespace {
+
+Scenario::Workload workload_from_string(const std::string& name) {
+  if (name == "synthetic") return Scenario::Workload::Synthetic;
+  if (name == "app") return Scenario::Workload::App;
+  if (name == "custom") return Scenario::Workload::Custom;
+  throw std::invalid_argument("Scenario: unknown workload '" + name +
+                              "' (valid: synthetic app custom)");
+}
+
+power::VfCurve make_curve(int vf_levels) {
+  power::VfCurve curve = power::VfCurve::fdsoi28();
+  if (vf_levels > 0) curve = curve.quantized(static_cast<std::size_t>(vf_levels));
+  return curve;
+}
+
+std::unique_ptr<traffic::TrafficModel> make_traffic(const Scenario& s,
+                                                    SimulatorConfig& sim_cfg) {
+  switch (s.workload) {
+    case Scenario::Workload::Synthetic: {
+      noc::MeshTopology topo(s.network.width, s.network.height);
+      traffic::SyntheticTrafficParams tp;
+      tp.lambda = s.lambda;
+      tp.packet_size = s.packet_size;
+      tp.pattern = s.pattern;
+      tp.process = s.process;
+      tp.seed = s.seed;
+      tp.hotspot_fraction = s.hotspot_fraction;
+      return std::make_unique<traffic::SyntheticTraffic>(topo, tp);
+    }
+    case Scenario::Workload::App: {
+      const apps::TaskGraph graph = app_graph(s.app);
+      // The task graph pins the mesh; VC/buffer/routing knobs still apply.
+      sim_cfg.network.width = graph.mesh_width();
+      sim_cfg.network.height = graph.mesh_height();
+      auto rates = graph.rate_matrix_pps(apps::kReferenceFps * s.speed);
+      for (auto& row : rates) {
+        for (double& r : row) r *= s.traffic_scale;
+      }
+      return std::make_unique<traffic::MatrixTraffic>(std::move(rates), s.packet_size,
+                                                      s.f_node, s.seed);
+    }
+    case Scenario::Workload::Custom: {
+      if (!s.traffic_factory) {
+        throw std::invalid_argument(
+            "Scenario: workload=custom requires a traffic_factory");
+      }
+      return s.traffic_factory(s);
+    }
+  }
+  throw std::invalid_argument("Scenario: unhandled workload variant");
+}
+
+}  // namespace
+
+void Scenario::declare_keys(common::Config& c) { declare_keys(c, Scenario{}); }
+
+void Scenario::declare_keys(common::Config& c, const Scenario& d) {
+  c.declare("workload", to_string(d.workload), "synthetic|app|custom");
+
+  c.declare("pattern", d.pattern, "synthetic traffic pattern");
+  c.declare("process", d.process, "injection process (bernoulli|onoff)");
+  c.declare_double("lambda", d.lambda, "offered flits per node cycle per node");
+  c.declare_double("hotspot_fraction", d.hotspot_fraction,
+                   "traffic share of the hotspot (pattern=hotspot)");
+
+  c.declare("app", d.app, "task-graph app: h264 (4x4) or vce (5x5)");
+  c.declare_double("speed", d.speed, "app speed relative to 75 fps");
+  c.declare_double("traffic_scale", d.traffic_scale, "rate-matrix calibration multiplier");
+
+  c.declare_int("width", d.network.width, "mesh width");
+  c.declare_int("height", d.network.height, "mesh height");
+  c.declare_int("vcs", d.network.num_vcs, "virtual channels per port");
+  c.declare_int("bufs", d.network.vc_buffer_depth, "flit buffers per VC");
+  c.declare_int("link_latency", d.network.link_latency, "inter-router link cycles");
+  c.declare_int("packet", d.packet_size, "flits per packet");
+
+  c.declare("policy", to_string(d.policy.policy), "nodvfs|rmsd|rmsd-closed|dmsd|qbsd");
+  c.declare_double("lambda_max", d.policy.lambda_max,
+                   "RMSD target load (flits/noc-cycle/node)");
+  c.declare_double("target_delay_ns", d.policy.target_delay_ns, "DMSD delay target");
+  c.declare_double("ki", d.policy.ki, "DMSD integral gain");
+  c.declare_double("kp", d.policy.kp, "DMSD proportional gain");
+  c.declare_double("occupancy_setpoint", d.policy.occupancy_setpoint,
+                   "QBSD buffer-occupancy target (fraction)");
+
+  c.declare_int("control_period", static_cast<std::int64_t>(d.control_period),
+                "control update period in node cycles");
+  c.declare_double("f_node", d.f_node, "node clock in Hz");
+  c.declare_int("vf_levels", d.vf_levels, "discrete V/F levels (0 = continuous)");
+  c.declare_int("flit_bits", d.flit_bits, "flit width in bits");
+  c.declare_int("seed", static_cast<std::int64_t>(d.seed), "random seed");
+
+  c.declare_int("warmup", static_cast<std::int64_t>(d.phases.warmup_node_cycles),
+                "warmup node cycles");
+  c.declare_int("measure", static_cast<std::int64_t>(d.phases.measure_node_cycles),
+                "measurement node cycles");
+  c.declare_bool("adaptive_warmup", d.phases.adaptive_warmup,
+                 "extend warmup until the controller settles");
+  c.declare_int("max_warmup", static_cast<std::int64_t>(d.phases.max_warmup_node_cycles),
+                "adaptive warmup bound in node cycles");
+}
+
+Scenario Scenario::from_config(const common::Config& c) {
+  Scenario s;
+  s.workload = workload_from_string(c.get_string("workload"));
+
+  s.pattern = c.get_string("pattern");
+  s.process = c.get_string("process");
+  s.lambda = c.get_double("lambda");
+  s.hotspot_fraction = c.get_double("hotspot_fraction");
+
+  s.app = c.get_string("app");
+  s.speed = c.get_double("speed");
+  s.traffic_scale = c.get_double("traffic_scale");
+
+  s.network.width = static_cast<int>(c.get_int("width"));
+  s.network.height = static_cast<int>(c.get_int("height"));
+  s.network.num_vcs = static_cast<int>(c.get_int("vcs"));
+  s.network.vc_buffer_depth = static_cast<int>(c.get_int("bufs"));
+  s.network.link_latency = static_cast<int>(c.get_int("link_latency"));
+  s.packet_size = static_cast<int>(c.get_int("packet"));
+
+  s.policy.policy = policy_from_string(c.get_string("policy"));
+  s.policy.lambda_max = c.get_double("lambda_max");
+  s.policy.target_delay_ns = c.get_double("target_delay_ns");
+  s.policy.ki = c.get_double("ki");
+  s.policy.kp = c.get_double("kp");
+  s.policy.occupancy_setpoint = c.get_double("occupancy_setpoint");
+
+  s.control_period = static_cast<std::uint64_t>(c.get_int("control_period"));
+  s.f_node = c.get_double("f_node");
+  s.vf_levels = static_cast<int>(c.get_int("vf_levels"));
+  s.flit_bits = static_cast<int>(c.get_int("flit_bits"));
+  s.seed = static_cast<std::uint64_t>(c.get_int("seed"));
+
+  s.phases.warmup_node_cycles = static_cast<std::uint64_t>(c.get_int("warmup"));
+  s.phases.measure_node_cycles = static_cast<std::uint64_t>(c.get_int("measure"));
+  s.phases.adaptive_warmup = c.get_bool("adaptive_warmup");
+  s.phases.max_warmup_node_cycles = static_cast<std::uint64_t>(c.get_int("max_warmup"));
+  return s;
+}
+
+std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
+  SimulatorConfig sim_cfg;
+  sim_cfg.network = s.network;
+  sim_cfg.f_node = s.f_node;
+  sim_cfg.control_period_node_cycles = s.control_period;
+  sim_cfg.flit_bits = s.flit_bits;
+
+  auto traffic_model = make_traffic(s, sim_cfg);
+  return std::make_unique<Simulator>(sim_cfg, std::move(traffic_model),
+                                     make_controller(s.policy), make_curve(s.vf_levels));
+}
+
+RunResult run(const Scenario& scenario) {
+  return make_simulator(scenario)->run(scenario.phases);
+}
+
+double mean_lambda(const Scenario& scenario) {
+  switch (scenario.workload) {
+    case Scenario::Workload::Synthetic:
+      return scenario.lambda;
+    case Scenario::Workload::App: {
+      const apps::TaskGraph graph = app_graph(scenario.app);
+      return scenario.traffic_scale *
+             graph.mean_lambda(apps::kReferenceFps * scenario.speed, scenario.packet_size,
+                               scenario.f_node);
+    }
+    case Scenario::Workload::Custom:
+      throw std::invalid_argument(
+          "mean_lambda: not defined for custom workloads (ask the traffic model)");
+  }
+  throw std::invalid_argument("mean_lambda: unhandled workload variant");
+}
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The declarative experiment surface: one `Scenario` value describes a
+/// complete run — workload (synthetic pattern / app task-graph / custom
+/// traffic factory), DVFS policy, platform parameters and run phases —
+/// and `run(scenario)` executes it. Every bench and example builds on
+/// this type; `declare_keys` / `from_config` bind the whole surface to
+/// `common::Config` so any scenario is expressible as `key=value`
+/// overrides on the command line.
+///
+/// The paper's methodology is "each figure is a sweep over these
+/// scenarios"; `sim/sweep.hpp` provides the cross-product sweep engine
+/// on top of this type.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apps/task_graph.hpp"
+#include "common/config.hpp"
+#include "dvfs/controller.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace nocdvfs::sim {
+
+enum class Policy { NoDvfs, Rmsd, RmsdClosed, Dmsd, Qbsd };
+
+const char* to_string(Policy policy) noexcept;
+
+/// Case-insensitive lookup; throws std::invalid_argument naming the
+/// offending input and the valid set.
+Policy policy_from_string(const std::string& name);
+
+/// Policy parameters (only the fields relevant to the chosen policy are
+/// read: lambda_max for RMSD, target/gains for DMSD).
+struct PolicyConfig {
+  Policy policy = Policy::NoDvfs;
+  double lambda_max = 0.378;      ///< RMSD target network load (flits/noc-cycle/node)
+  double target_delay_ns = 150.0; ///< DMSD delay target
+  double ki = 0.025;              ///< paper's integral gain
+  double kp = 0.0125;             ///< paper's proportional gain
+  double occupancy_setpoint = 0.15;  ///< QBSD buffer-occupancy target (fraction)
+};
+
+std::unique_ptr<dvfs::DvfsController> make_controller(const PolicyConfig& cfg);
+
+/// The task graph behind an app name; throws std::invalid_argument for
+/// unknown names.
+apps::TaskGraph app_graph(const std::string& app);
+
+/// One fully specified experiment. The three workload variants of the old
+/// API (`ExperimentConfig`, `AppExperimentConfig`, the custom-traffic
+/// escape hatch) are all states of this single value type.
+struct Scenario {
+  enum class Workload { Synthetic, App, Custom };
+
+  /// Builds the traffic model for a Custom-workload scenario. Called once
+  /// per run, possibly concurrently from SweepRunner worker threads, so it
+  /// must be a pure function of the scenario and its captures.
+  using TrafficFactory =
+      std::function<std::unique_ptr<traffic::TrafficModel>(const Scenario&)>;
+
+  Workload workload = Workload::Synthetic;
+
+  // --- synthetic workload (paper Secs. III–V) ---
+  std::string pattern = "uniform";
+  std::string process = "bernoulli";
+  double lambda = 0.1;  ///< offered flits per node cycle per node
+  double hotspot_fraction = 0.2;
+
+  // --- app task-graph workload (paper Sec. VI) ---
+  std::string app = "h264";    ///< "h264" (4×4) or "vce" (5×5)
+  double speed = 1.0;          ///< relative to 75 frames/s
+  double traffic_scale = 1.0;  ///< calibration multiplier on the rate matrix
+
+  // --- custom workload escape hatch ---
+  TrafficFactory traffic_factory;  ///< required iff workload == Custom
+
+  // --- platform ---
+  noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
+  int packet_size = 20;          ///< flits per packet
+  PolicyConfig policy{};
+  std::uint64_t control_period = 10000;  ///< node cycles (paper: 10 000)
+  common::Hertz f_node = 1e9;
+  int vf_levels = 0;  ///< 0 = continuous frequency tuning, else discrete levels
+  int flit_bits = 128;
+  std::uint64_t seed = 1;
+  RunPhases phases{};
+
+  /// Register every scenario key on `c`, using `defaults` for the default
+  /// values so a bench's base scenario round-trips through `--help`.
+  static void declare_keys(common::Config& c, const Scenario& defaults);
+  static void declare_keys(common::Config& c);
+
+  /// Read every declared key back into a Scenario (the inverse of
+  /// declare_keys; `workload=custom` additionally needs a traffic_factory
+  /// assigned by the caller before the scenario can run).
+  static Scenario from_config(const common::Config& c);
+};
+
+const char* to_string(Scenario::Workload workload) noexcept;
+
+/// Execute one scenario: assemble the simulator for its workload variant
+/// and run the standard phase protocol.
+RunResult run(const Scenario& scenario);
+
+/// Build (but do not run) the simulator for a scenario — for callers that
+/// need to poke at the network or clock between phases.
+std::unique_ptr<Simulator> make_simulator(const Scenario& scenario);
+
+/// Nominal mean offered load (flits/node-cycle/node). For app workloads
+/// this derives from the task-graph rate matrix at the scenario's speed
+/// and traffic_scale — the quantity the multimedia benches report
+/// alongside the speed axis. Custom workloads must instantiate their
+/// traffic model to answer, so this throws for them.
+double mean_lambda(const Scenario& scenario);
+
+}  // namespace nocdvfs::sim

@@ -1,0 +1,326 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/table.hpp"
+
+namespace nocdvfs::sim {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+SweepAxis SweepAxis::lambda(const std::vector<double>& values) {
+  SweepAxis axis;
+  axis.name = "lambda";
+  for (const double v : values) {
+    axis.points.push_back({fmt_double(v), [v](Scenario& s) { s.lambda = v; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::policies(const std::vector<Policy>& values) {
+  SweepAxis axis;
+  axis.name = "policy";
+  for (const Policy p : values) {
+    axis.points.push_back({to_string(p), [p](Scenario& s) { s.policy.policy = p; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::speed(const std::vector<double>& values) {
+  SweepAxis axis;
+  axis.name = "speed";
+  for (const double v : values) {
+    axis.points.push_back({fmt_double(v), [v](Scenario& s) { s.speed = v; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::control_period(const std::vector<std::uint64_t>& values) {
+  SweepAxis axis;
+  axis.name = "control_period";
+  for (const std::uint64_t v : values) {
+    axis.points.push_back(
+        {std::to_string(v), [v](Scenario& s) { s.control_period = v; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::vf_levels(const std::vector<int>& values) {
+  SweepAxis axis;
+  axis.name = "vf_levels";
+  for (const int v : values) {
+    axis.points.push_back({v == 0 ? "cont." : std::to_string(v),
+                           [v](Scenario& s) { s.vf_levels = v; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::seeds(int count, std::uint64_t base_seed) {
+  SweepAxis axis;
+  axis.name = "seed";
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    axis.points.push_back({std::to_string(seed), [seed](Scenario& s) { s.seed = seed; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::custom(std::string name, std::vector<Point> points) {
+  SweepAxis axis;
+  axis.name = std::move(name);
+  axis.points = std::move(points);
+  return axis;
+}
+
+std::string SweepPoint::label(const std::vector<SweepAxis>& axes) const {
+  std::ostringstream os;
+  for (std::size_t a = 0; a < coordinates.size(); ++a) {
+    if (a > 0) os << ' ';
+    os << (a < axes.size() ? axes[a].name : "axis") << '=' << coordinates[a];
+  }
+  return os.str();
+}
+
+SweepRunner::SweepRunner() : SweepRunner(Options{}) {}
+
+SweepRunner::SweepRunner(Options options) : options_(options) {}
+
+void SweepRunner::add_sink(ResultSink& sink) { sinks_.push_back(&sink); }
+
+std::vector<SweepPoint> SweepRunner::expand(const Scenario& base,
+                                            const std::vector<SweepAxis>& axes) {
+  for (const SweepAxis& axis : axes) {
+    if (axis.points.empty()) {
+      throw std::invalid_argument("SweepRunner: axis '" + axis.name + "' has no points");
+    }
+  }
+  std::size_t total = 1;
+  for (const SweepAxis& axis : axes) total *= axis.size();
+
+  std::vector<SweepPoint> points;
+  points.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    SweepPoint point;
+    point.index = index;
+    point.scenario = base;
+    point.coordinates.resize(axes.size());
+    // Row-major decode: the first axis varies slowest.
+    std::vector<std::size_t> idx(axes.size());
+    std::size_t rem = index;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      idx[a] = rem % axes[a].size();
+      rem /= axes[a].size();
+    }
+    // Apply outer-to-inner so inner axes win field conflicts predictably.
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      point.coordinates[a] = axes[a].points[idx[a]].label;
+      axes[a].points[idx[a]].apply(point.scenario);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+int SweepRunner::resolved_threads(std::size_t num_points) const {
+  int n = options_.threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n < 1) n = 1;
+  if (static_cast<std::size_t>(n) > num_points) n = static_cast<int>(num_points);
+  return n;
+}
+
+std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
+                                          const std::vector<SweepAxis>& axes,
+                                          const std::string& group) {
+  std::vector<SweepPoint> points = expand(base, axes);
+  std::vector<RunResult> results(points.size());
+
+  const int threads = resolved_threads(points.size());
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;
+      }
+      try {
+        results[i] = sim::run(points[i].scenario);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<SweepRecord> records;
+  records.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    records.push_back(SweepRecord{std::move(points[i]), std::move(results[i])});
+  }
+
+  for (ResultSink* sink : sinks_) sink->begin_sweep(group, axes);
+  for (const SweepRecord& record : records) {
+    for (ResultSink* sink : sinks_) sink->on_result(record);
+  }
+  for (ResultSink* sink : sinks_) sink->end_sweep();
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CsvResultSink::CsvResultSink(std::ostream& os) : os_(os) {}
+
+void CsvResultSink::begin_sweep(const std::string& group,
+                                const std::vector<SweepAxis>& axes) {
+  (void)axes;
+  group_ = group;
+  if (!header_written_) {
+    os_ << "group,index,point,workload,pattern,app,lambda,speed,policy,seed,"
+           "control_period,vf_levels,avg_delay_ns,p50_delay_ns,p95_delay_ns,"
+           "p99_delay_ns,avg_latency_cycles,avg_hops,avg_frequency_ghz,avg_voltage,"
+           "power_mw,delivered_flits_per_node_cycle,avg_buffer_occupancy,"
+           "packets_delivered,saturated,controller_settled,warmup_node_cycles_used\n";
+    header_written_ = true;
+  }
+}
+
+void CsvResultSink::on_result(const SweepRecord& record) {
+  const Scenario& s = record.point.scenario;
+  const RunResult& r = record.result;
+  std::string point_label;
+  for (std::size_t i = 0; i < record.point.coordinates.size(); ++i) {
+    if (i > 0) point_label += ' ';
+    point_label += record.point.coordinates[i];
+  }
+  std::ostringstream row;
+  row << csv_escape(group_) << ',' << record.point.index << ',' << csv_escape(point_label)
+      << ',' << to_string(s.workload) << ',' << csv_escape(s.pattern) << ','
+      << csv_escape(s.app) << ',' << s.lambda << ',' << s.speed << ','
+      << to_string(s.policy.policy) << ',' << s.seed << ',' << s.control_period << ','
+      << s.vf_levels << ',' << r.avg_delay_ns << ',' << r.p50_delay_ns << ','
+      << r.p95_delay_ns << ',' << r.p99_delay_ns << ',' << r.avg_latency_cycles << ','
+      << r.avg_hops << ',' << r.avg_frequency_ghz() << ',' << r.avg_voltage << ','
+      << r.power_mw() << ',' << r.delivered_flits_per_node_cycle << ','
+      << r.avg_buffer_occupancy << ',' << r.packets_delivered << ','
+      << (r.saturated ? 1 : 0) << ',' << (r.controller_settled ? 1 : 0) << ','
+      << r.warmup_node_cycles_used << '\n';
+  os_ << row.str();
+}
+
+JsonlResultSink::JsonlResultSink(std::ostream& os, bool include_traces)
+    : os_(os), include_traces_(include_traces) {}
+
+void JsonlResultSink::begin_sweep(const std::string& group,
+                                  const std::vector<SweepAxis>& axes) {
+  (void)axes;
+  group_ = group;
+}
+
+void JsonlResultSink::on_result(const SweepRecord& record) {
+  const Scenario& s = record.point.scenario;
+  const RunResult& r = record.result;
+  std::ostringstream os;
+  os << "{\"group\":\"" << json_escape(group_) << "\",\"index\":" << record.point.index
+     << ",\"coordinates\":[";
+  for (std::size_t i = 0; i < record.point.coordinates.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(record.point.coordinates[i]) << '"';
+  }
+  os << "],\"scenario\":{\"workload\":\"" << to_string(s.workload) << "\",\"pattern\":\""
+     << json_escape(s.pattern) << "\",\"app\":\"" << json_escape(s.app)
+     << "\",\"lambda\":" << s.lambda << ",\"speed\":" << s.speed << ",\"policy\":\""
+     << to_string(s.policy.policy) << "\",\"seed\":" << s.seed
+     << ",\"control_period\":" << s.control_period << ",\"vf_levels\":" << s.vf_levels
+     << ",\"width\":" << s.network.width << ",\"height\":" << s.network.height << "}"
+     << ",\"result\":{\"avg_delay_ns\":" << r.avg_delay_ns
+     << ",\"p99_delay_ns\":" << r.p99_delay_ns
+     << ",\"avg_latency_cycles\":" << r.avg_latency_cycles
+     << ",\"avg_frequency_ghz\":" << r.avg_frequency_ghz()
+     << ",\"avg_voltage\":" << r.avg_voltage << ",\"power_mw\":" << r.power_mw()
+     << ",\"delivered_flits_per_node_cycle\":" << r.delivered_flits_per_node_cycle
+     << ",\"avg_buffer_occupancy\":" << r.avg_buffer_occupancy
+     << ",\"packets_delivered\":" << r.packets_delivered
+     << ",\"saturated\":" << (r.saturated ? "true" : "false")
+     << ",\"controller_settled\":" << (r.controller_settled ? "true" : "false") << "}";
+  if (include_traces_) {
+    os << ",\"window_trace\":[";
+    for (std::size_t i = 0; i < r.window_trace.size(); ++i) {
+      const WindowSample& w = r.window_trace[i];
+      if (i > 0) os << ',';
+      os << "{\"t_ps\":" << w.t << ",\"avg_delay_ns\":" << w.avg_delay_ns
+         << ",\"packets\":" << w.packets << ",\"f_hz\":" << w.f_applied << "}";
+    }
+    os << "],\"vf_trace\":[";
+    for (std::size_t i = 0; i < r.vf_trace.size(); ++i) {
+      const auto& p = r.vf_trace[i];
+      if (i > 0) os << ',';
+      os << "{\"t_ps\":" << p.t << ",\"f_hz\":" << p.f << ",\"vdd\":" << p.vdd << "}";
+    }
+    os << ']';
+  }
+  os << "}\n";
+  os_ << os.str();
+}
+
+}  // namespace nocdvfs::sim

@@ -301,6 +301,63 @@ TEST(Config, DoubleList) {
   EXPECT_THROW(c.get_double_list("xs"), std::invalid_argument);
 }
 
+TEST(Config, DoubleListEdgeCases) {
+  Config c;
+  // Empty string → empty list.
+  c.declare("xs", "");
+  EXPECT_TRUE(c.get_double_list("xs").empty());
+  // Trailing comma and stray whitespace-only elements are skipped.
+  c.set("xs", "0.5,1.5,");
+  auto xs = c.get_double_list("xs");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[1], 1.5);
+  c.set("xs", " , 2.5 ,, 3.5 , ");
+  xs = c.get_double_list("xs");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[0], 2.5);
+  EXPECT_DOUBLE_EQ(xs[1], 3.5);
+  // A single bare value still parses.
+  c.set("xs", "42");
+  xs = c.get_double_list("xs");
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 42.0);
+}
+
+TEST(Config, WasSetVersusRedeclare) {
+  Config c;
+  c.declare_int("n", 5);
+  EXPECT_FALSE(c.was_set("n"));
+  EXPECT_FALSE(c.was_set("missing"));  // undeclared keys are simply "not set"
+
+  // Re-declaring an unassigned key swaps the default in place.
+  c.declare_int("n", 7, "updated help");
+  EXPECT_EQ(c.get_int("n"), 7);
+  EXPECT_FALSE(c.was_set("n"));
+
+  // An explicit assignment survives any later re-declare.
+  c.set("n", "11");
+  EXPECT_TRUE(c.was_set("n"));
+  c.declare_int("n", 99);
+  EXPECT_EQ(c.get_int("n"), 11);
+  EXPECT_TRUE(c.was_set("n"));
+}
+
+TEST(Config, SummaryLinesSortedAndComplete) {
+  Config c;
+  c.declare_int("zeta", 1);
+  c.declare_int("alpha", 2, "first by name");
+  c.declare_int("mid", 3);
+  const auto lines = c.summary_lines();
+  ASSERT_EQ(lines.size(), 3u);
+  // Sorted by key regardless of declaration order.
+  EXPECT_EQ(lines[0].rfind("alpha", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("mid", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("zeta", 0), 0u);
+  // Value and help text both appear.
+  EXPECT_NE(lines[0].find("= 2"), std::string::npos);
+  EXPECT_NE(lines[0].find("first by name"), std::string::npos);
+}
+
 TEST(Config, ParseArgsSkipsProgramName) {
   Config c;
   c.declare_int("a", 1);

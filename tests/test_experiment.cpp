@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstring>
+#include <string>
 
 #include "sim/experiment.hpp"
 #include "sim/saturation.hpp"
@@ -17,6 +19,30 @@ TEST(Policy, StringRoundTrip) {
     EXPECT_EQ(policy_from_string(to_string(p)), p);
   }
   EXPECT_THROW(policy_from_string("turbo"), std::invalid_argument);
+}
+
+TEST(Policy, LookupIsCaseInsensitive) {
+  for (const Policy p : {Policy::NoDvfs, Policy::Rmsd, Policy::RmsdClosed, Policy::Dmsd,
+                         Policy::Qbsd}) {
+    std::string upper = to_string(p);
+    for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    EXPECT_EQ(policy_from_string(upper), p) << upper;
+  }
+  EXPECT_EQ(policy_from_string("Rmsd-Closed"), Policy::RmsdClosed);
+}
+
+TEST(Policy, ErrorNamesOffenderAndValidSet) {
+  try {
+    policy_from_string("turbo");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("turbo"), std::string::npos) << msg;
+    for (const Policy p : {Policy::NoDvfs, Policy::Rmsd, Policy::RmsdClosed, Policy::Dmsd,
+                           Policy::Qbsd}) {
+      EXPECT_NE(msg.find(to_string(p)), std::string::npos) << msg;
+    }
+  }
 }
 
 TEST(MakeController, ProducesTheRequestedPolicy) {
