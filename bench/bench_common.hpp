@@ -113,13 +113,25 @@ struct Anchors {
 
 inline Anchors compute_anchors(sim::Scenario base) {
   Anchors a;
-  a.lambda_sat = sim::find_saturation(base, bench_saturation_options());
-  a.lambda_max = 0.9 * a.lambda_sat;
+  const double axis_sat = sim::find_saturation(base, bench_saturation_options());
 
   sim::Scenario probe = base;
-  probe.lambda = a.lambda_max;
   probe.policy.policy = sim::Policy::NoDvfs;
   probe.phases = bench_phases();
+  if (base.workload == sim::Scenario::Workload::Trace) {
+    // The trace axis is the time-warp: convert the saturating warp into
+    // the offered load lambda_max expects, and warp the target probe to
+    // run at 0.9 of it.
+    sim::Scenario at_sat = base;
+    at_sat.trace_scale = axis_sat;
+    a.lambda_sat = sim::mean_lambda(at_sat);
+    probe.trace_scale = 0.9 * axis_sat;
+    probe.trace_loop = true;
+  } else {
+    a.lambda_sat = axis_sat;
+    probe.lambda = 0.9 * axis_sat;
+  }
+  a.lambda_max = 0.9 * a.lambda_sat;
   a.target_delay_ns = sim::run(probe).avg_delay_ns;
   return a;
 }

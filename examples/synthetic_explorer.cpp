@@ -43,15 +43,30 @@ int main(int argc, char** argv) {
 
   sim::Scenario base = sim::Scenario::from_config(c);
 
+  const bool is_trace = base.workload == sim::Scenario::Workload::Trace;
   if (base.policy.lambda_max <= 0.0) {
     const double sat = sim::find_saturation(base);
-    base.policy.lambda_max = 0.9 * sat;
-    std::cout << "# measured lambda_sat=" << sat << "  lambda_max=" << base.policy.lambda_max
-              << "\n";
+    // For a trace workload the finder bisects the time-warp; convert the
+    // saturating warp into the offered load RMSD's lambda_max expects.
+    double lambda_sat = sat;
+    if (is_trace) {
+      sim::Scenario at_sat = base;
+      at_sat.trace_scale = sat;
+      lambda_sat = sim::mean_lambda(at_sat);
+    }
+    base.policy.lambda_max = 0.9 * lambda_sat;
+    std::cout << "# measured lambda_sat=" << lambda_sat
+              << (is_trace ? " (saturating time-warp " + std::to_string(sat) + ")" : "")
+              << "  lambda_max=" << base.policy.lambda_max << "\n";
   }
   if (base.policy.target_delay_ns <= 0.0) {
     sim::Scenario probe = base;
     probe.lambda = base.policy.lambda_max;
+    if (is_trace && sim::mean_lambda(base) > 0.0) {
+      // Warp the replay so the probe actually runs at lambda_max.
+      probe.trace_scale = base.trace_scale * base.policy.lambda_max / sim::mean_lambda(base);
+      probe.trace_loop = true;
+    }
     probe.policy.policy = sim::Policy::NoDvfs;
     base.policy.target_delay_ns = sim::run(probe).avg_delay_ns;
     std::cout << "# DMSD target delay = " << base.policy.target_delay_ns

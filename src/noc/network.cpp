@@ -63,6 +63,12 @@ CreditChannel& Network::new_credit_channel(int latency) {
   return credit_channels_.back();
 }
 
+void Network::set_injection_observer(InjectionObserver observer) {
+  injection_observer_ = std::move(observer);
+  const InjectionObserver* ptr = injection_observer_ ? &injection_observer_ : nullptr;
+  for (auto& ni : nis_) ni->set_injection_observer(ptr);
+}
+
 void Network::step(common::Picoseconds now) {
   ++cycle_;
   for (auto& ch : flit_channels_) ch.tick();

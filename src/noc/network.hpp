@@ -57,6 +57,10 @@ class Network {
   /// Packets delivered since the caller last cleared this vector.
   std::vector<PacketRecord>& delivered() noexcept { return delivered_; }
 
+  /// Install (or clear, with an empty function) the observer invoked for
+  /// every packet entering any source queue — the trace-recording hook.
+  void set_injection_observer(InjectionObserver observer);
+
   // --- aggregate measurement ---
   power::ActivityCounters total_activity() const;
   power::NetworkInventory inventory() const;
@@ -86,6 +90,7 @@ class Network {
   std::deque<FlitChannel> flit_channels_;
   std::deque<CreditChannel> credit_channels_;
   std::vector<PacketRecord> delivered_;
+  InjectionObserver injection_observer_;
   std::uint64_t cycle_ = 0;
 };
 

@@ -16,6 +16,7 @@
 /// controller consume (end-to-end delay including source queueing).
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -29,6 +30,12 @@ struct NiConfig {
   int num_vcs = 8;
   int vc_buffer_depth = 4;  ///< credits towards the router's Local input
 };
+
+/// Observes every packet entering a source queue — the trace-recording
+/// hook. Installed network-wide via `Network::set_injection_observer`; the
+/// NI holds only a pointer so the uninstrumented hot path pays one branch.
+using InjectionObserver =
+    std::function<void(NodeId src, NodeId dst, int size_flits, std::uint8_t traffic_class)>;
 
 class NetworkInterface {
  public:
@@ -56,6 +63,11 @@ class NetworkInterface {
   void inject_phase();
 
   NodeId node() const noexcept { return node_; }
+
+  /// Non-owning; nullptr disables observation. Set by the Network.
+  void set_injection_observer(const InjectionObserver* observer) noexcept {
+    injection_observer_ = observer;
+  }
 
   // --- measurement accessors (monotone counters) ---
   std::uint64_t packets_generated() const noexcept { return packets_generated_; }
@@ -85,6 +97,7 @@ class NetworkInterface {
   NodeId node_;
   NiConfig cfg_;
   std::vector<PacketRecord>* delivered_sink_;
+  const InjectionObserver* injection_observer_ = nullptr;
 
   FlitChannel* inject_out_ = nullptr;
   CreditChannel* inject_credit_in_ = nullptr;

@@ -70,6 +70,14 @@ struct RunResult {
   // --- power ---
   power::PowerBreakdown power;
 
+  // --- derived efficiency metrics ---
+  /// Total NoC energy per delivered payload bit over the measurement
+  /// (pJ/bit); 0 when nothing was delivered.
+  double energy_per_bit_pj = 0.0;
+  /// Energy·delay product: total measurement energy × mean packet delay
+  /// (joule·seconds) — the classic single-number efficiency/QoS trade-off.
+  double energy_delay_product_js = 0.0;
+
   // --- diagnostics ---
   bool saturated = false;
   std::int64_t backlog_growth_flits = 0;

@@ -54,9 +54,4 @@ ReplicatedResult replicate(const Scenario& scenario, int replications,
   return out;
 }
 
-ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
-                                     std::uint64_t base_seed) {
-  return replicate(to_scenario(cfg), replications, base_seed);
-}
-
 }  // namespace nocdvfs::sim

@@ -11,7 +11,6 @@
 
 #include <vector>
 
-#include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
 
 namespace nocdvfs::sim {
@@ -40,9 +39,5 @@ struct ReplicatedResult {
 /// SweepRunner::Options semantics (0 = hardware concurrency).
 ReplicatedResult replicate(const Scenario& scenario, int replications,
                            std::uint64_t base_seed = 1, int threads = 0);
-
-/// DEPRECATED: `replicate(to_scenario(cfg), replications, base_seed)`.
-ReplicatedResult replicate_synthetic(const ExperimentConfig& cfg, int replications,
-                                     std::uint64_t base_seed = 1);
 
 }  // namespace nocdvfs::sim

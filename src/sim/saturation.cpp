@@ -39,49 +39,57 @@ double bisect(double lo, double hi, double resolution, SaturatedAt&& saturated_a
   return lo;
 }
 
-double find_synthetic_saturation(Scenario base, const SaturationSearchOptions& opt) {
+/// Per-workload description of the load axis the search bisects.
+struct LoadAxis {
+  /// Writes the bisected value into the probe scenario.
+  void (*set)(Scenario&, double) = nullptr;
+  /// Values that cannot even be generated count as saturated up front
+  /// (synthetic: more than one packet per node cycle).
+  bool (*infeasible)(const Scenario&, double) = nullptr;
+  /// The traffic model itself may reject an overload value by throwing
+  /// (MatrixTraffic at excessive speed) — definitionally saturated.
+  bool invalid_argument_is_saturated = false;
+  /// The axis has no a-priori ceiling (trace time-warp: 1.0 just means
+  /// "as recorded"), so grow `hi` geometrically until it saturates.
+  bool expand_hi = false;
+};
+
+double find_on_axis(const Scenario& base, const SaturationSearchOptions& opt,
+                    const LoadAxis& axis) {
   // Zero-load latency reference for the knee criterion.
   double knee_latency_cycles = 0.0;
   if (opt.latency_knee_factor > 0.0) {
     Scenario probe = base;
-    probe.lambda = opt.zero_load_lambda;
+    axis.set(probe, opt.zero_load_lambda);
     knee_latency_cycles = opt.latency_knee_factor * run(probe).avg_latency_cycles;
   }
 
-  auto saturated_at = [&](double lambda) {
-    // Loads beyond one packet per node cycle cannot even be generated.
-    if (lambda / base.packet_size > 1.0) return true;
+  auto saturated_at = [&](double value) {
+    if (axis.infeasible && axis.infeasible(base, value)) return true;
     Scenario probe = base;
-    probe.lambda = lambda;
-    const RunResult r = run(probe);
-    if (r.saturated) return true;
-    return knee_latency_cycles > 0.0 && r.avg_latency_cycles > knee_latency_cycles;
-  };
-  return bisect(opt.lo, opt.hi, opt.resolution, saturated_at);
-}
-
-double find_app_saturation(Scenario base, const SaturationSearchOptions& opt) {
-  double knee_latency_cycles = 0.0;
-  if (opt.latency_knee_factor > 0.0) {
-    Scenario probe = base;
-    probe.speed = opt.zero_load_lambda;  // interpreted as a low relative speed
-    knee_latency_cycles = opt.latency_knee_factor * run(probe).avg_latency_cycles;
-  }
-
-  auto saturated_at = [&](double speed) {
-    Scenario probe = base;
-    probe.speed = speed;
-    // MatrixTraffic rejects speeds that exceed one packet per node cycle at
-    // any source — definitionally saturated.
+    axis.set(probe, value);
     try {
       const RunResult r = run(probe);
       if (r.saturated) return true;
       return knee_latency_cycles > 0.0 && r.avg_latency_cycles > knee_latency_cycles;
     } catch (const std::invalid_argument&) {
-      return true;
+      if (axis.invalid_argument_is_saturated) return true;
+      throw;
     }
   };
-  return bisect(opt.lo, opt.hi, opt.resolution, saturated_at);
+
+  double lo = opt.lo;
+  double hi = opt.hi;
+  if (axis.expand_hi) {
+    // Double hi until it saturates (each probe above is then a known-good
+    // lo), bounded so a workload that can never saturate terminates; the
+    // bisect below returns the unsaturated hi in that case.
+    for (int i = 0; i < 8 && !saturated_at(hi); ++i) {
+      lo = hi;
+      hi *= 2.0;
+    }
+  }
+  return bisect(lo, hi, opt.resolution, saturated_at);
 }
 
 }  // namespace
@@ -91,23 +99,37 @@ double find_saturation(Scenario base, const SaturationSearchOptions& opt) {
   base.policy.policy = Policy::NoDvfs;
   base.phases = probe_phases(opt);
   switch (base.workload) {
-    case Scenario::Workload::Synthetic:
-      return find_synthetic_saturation(std::move(base), opt);
-    case Scenario::Workload::App:
-      return find_app_saturation(std::move(base), opt);
+    case Scenario::Workload::Synthetic: {
+      LoadAxis axis;
+      axis.set = [](Scenario& s, double v) { s.lambda = v; };
+      // Loads beyond one packet per node cycle cannot even be generated.
+      axis.infeasible = [](const Scenario& s, double v) {
+        return v / s.packet_size > 1.0;
+      };
+      return find_on_axis(base, opt, axis);
+    }
+    case Scenario::Workload::App: {
+      LoadAxis axis;
+      axis.set = [](Scenario& s, double v) { s.speed = v; };
+      axis.invalid_argument_is_saturated = true;  // MatrixTraffic overload throw
+      return find_on_axis(base, opt, axis);
+    }
+    case Scenario::Workload::Trace: {
+      // Probes loop the trace: a finite capture must be a steady-state
+      // source, or a high time-warp would compress the whole stream into
+      // the warmup (nothing generated in the measure window) and a low
+      // zero-load warp would starve the knee reference.
+      base.trace_loop = true;
+      LoadAxis axis;
+      axis.set = [](Scenario& s, double v) { s.trace_scale = v; };
+      axis.expand_hi = true;  // scale 1.0 is merely "as recorded", not a ceiling
+      return find_on_axis(base, opt, axis);
+    }
     case Scenario::Workload::Custom:
       break;
   }
   throw std::invalid_argument(
       "find_saturation: custom workloads have no declarative load axis to bisect");
-}
-
-double find_saturation_rate(ExperimentConfig base, const SaturationSearchOptions& opt) {
-  return find_saturation(to_scenario(base), opt);
-}
-
-double find_app_saturation_speed(AppExperimentConfig base, const SaturationSearchOptions& opt) {
-  return find_saturation(to_scenario(base), opt);
 }
 
 }  // namespace nocdvfs::sim

@@ -11,7 +11,6 @@
 /// runs at F = F_max; a probe is "saturated" when its source backlog grows
 /// materially or delivery lags generation (RunResult::saturated).
 
-#include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
@@ -35,15 +34,13 @@ struct SaturationSearchOptions {
 /// (policy/phases fields of `base` are ignored). The bisected quantity —
 /// and hence the returned value — depends on the workload variant:
 /// offered λ (flits/node-cycle/node) for Synthetic, relative application
-/// speed for App at the scenario's traffic_scale. Custom workloads throw
+/// speed for App at the scenario's traffic_scale, and the replay
+/// time-warp (`trace_scale`) for Trace. Trace probes force
+/// `trace_loop` so a finite capture acts as a steady-state source, and —
+/// because scale 1.0 only means "as recorded" — `hi` grows geometrically
+/// (up to 256×`opt.hi`) until the replay saturates; if it never does,
+/// the expanded `hi` is returned. Custom workloads throw
 /// std::invalid_argument (their load axis is not expressible here).
 double find_saturation(Scenario base, const SaturationSearchOptions& opt = {});
-
-/// DEPRECATED: `find_saturation(to_scenario(base), opt)`.
-double find_saturation_rate(ExperimentConfig base, const SaturationSearchOptions& opt = {});
-
-/// DEPRECATED: `find_saturation(to_scenario(base), opt)`.
-double find_app_saturation_speed(AppExperimentConfig base,
-                                 const SaturationSearchOptions& opt = {});
 
 }  // namespace nocdvfs::sim

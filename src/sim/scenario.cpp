@@ -9,6 +9,8 @@
 #include "dvfs/dmsd.hpp"
 #include "dvfs/qbsd.hpp"
 #include "dvfs/rmsd.hpp"
+#include "trace/recording_traffic.hpp"
+#include "trace/trace_traffic.hpp"
 
 namespace nocdvfs::sim {
 
@@ -91,6 +93,7 @@ const char* to_string(Scenario::Workload workload) noexcept {
   switch (workload) {
     case Scenario::Workload::Synthetic: return "synthetic";
     case Scenario::Workload::App: return "app";
+    case Scenario::Workload::Trace: return "trace";
     case Scenario::Workload::Custom: return "custom";
   }
   return "?";
@@ -101,9 +104,10 @@ namespace {
 Scenario::Workload workload_from_string(const std::string& name) {
   if (name == "synthetic") return Scenario::Workload::Synthetic;
   if (name == "app") return Scenario::Workload::App;
+  if (name == "trace") return Scenario::Workload::Trace;
   if (name == "custom") return Scenario::Workload::Custom;
   throw std::invalid_argument("Scenario: unknown workload '" + name +
-                              "' (valid: synthetic app custom)");
+                              "' (valid: synthetic app trace custom)");
 }
 
 power::VfCurve make_curve(int vf_levels) {
@@ -138,10 +142,25 @@ std::unique_ptr<traffic::TrafficModel> make_traffic(const Scenario& s,
       return std::make_unique<traffic::MatrixTraffic>(std::move(rates), s.packet_size,
                                                       s.f_node, s.seed);
     }
+    case Scenario::Workload::Trace: {
+      if (s.trace_path.empty()) {
+        throw std::invalid_argument(
+            "Scenario: workload=trace requires trace=<path.noctrace>");
+      }
+      trace::TraceReplayOptions opt;
+      opt.scale = s.trace_scale;
+      opt.loop = s.trace_loop;
+      // The scenario's mesh rules: the recorded stream is remapped onto it
+      // (a no-op when the dimensions match the trace header).
+      opt.mesh_width = s.network.width;
+      opt.mesh_height = s.network.height;
+      return std::make_unique<trace::TraceTraffic>(s.trace_path, opt);
+    }
     case Scenario::Workload::Custom: {
       if (!s.traffic_factory) {
         throw std::invalid_argument(
-            "Scenario: workload=custom requires a traffic_factory");
+            "Scenario: workload=custom requires a traffic_factory (assign "
+            "Scenario::traffic_factory before running)");
       }
       return s.traffic_factory(s);
     }
@@ -154,7 +173,7 @@ std::unique_ptr<traffic::TrafficModel> make_traffic(const Scenario& s,
 void Scenario::declare_keys(common::Config& c) { declare_keys(c, Scenario{}); }
 
 void Scenario::declare_keys(common::Config& c, const Scenario& d) {
-  c.declare("workload", to_string(d.workload), "synthetic|app|custom");
+  c.declare("workload", to_string(d.workload), "synthetic|app|trace|custom");
 
   c.declare("pattern", d.pattern, "synthetic traffic pattern");
   c.declare("process", d.process, "injection process (bernoulli|onoff)");
@@ -165,6 +184,13 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
   c.declare("app", d.app, "task-graph app: h264 (4x4) or vce (5x5)");
   c.declare_double("speed", d.speed, "app speed relative to 75 fps");
   c.declare_double("traffic_scale", d.traffic_scale, "rate-matrix calibration multiplier");
+
+  c.declare("trace", d.trace_path, ".noctrace file to replay (workload=trace)");
+  c.declare_double("trace_scale", d.trace_scale,
+                   "replay time-warp factor (>1 = higher offered load)");
+  c.declare_bool("trace_loop", d.trace_loop, "loop the trace when it ends");
+  c.declare("record", d.record_path,
+            "capture this run's injected packets to a .noctrace file");
 
   c.declare_int("width", d.network.width, "mesh width");
   c.declare_int("height", d.network.height, "mesh height");
@@ -212,6 +238,11 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.speed = c.get_double("speed");
   s.traffic_scale = c.get_double("traffic_scale");
 
+  s.trace_path = c.get_string("trace");
+  s.trace_scale = c.get_double("trace_scale");
+  s.trace_loop = c.get_bool("trace_loop");
+  s.record_path = c.get_string("record");
+
   s.network.width = static_cast<int>(c.get_int("width"));
   s.network.height = static_cast<int>(c.get_int("height"));
   s.network.num_vcs = static_cast<int>(c.get_int("vcs"));
@@ -246,7 +277,19 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   sim_cfg.control_period_node_cycles = s.control_period;
   sim_cfg.flit_bits = s.flit_bits;
 
-  auto traffic_model = make_traffic(s, sim_cfg);
+  std::unique_ptr<traffic::TrafficModel> traffic_model = make_traffic(s, sim_cfg);
+  if (!s.record_path.empty()) {
+    // The header mesh is the one the run actually uses (an app workload
+    // may have re-pinned sim_cfg.network above).
+    trace::TraceHeader header;
+    header.width = static_cast<std::uint16_t>(sim_cfg.network.width);
+    header.height = static_cast<std::uint16_t>(sim_cfg.network.height);
+    header.flit_bits = static_cast<std::uint32_t>(s.flit_bits);
+    header.f_node_hz = s.f_node;
+    traffic_model = std::make_unique<trace::RecordingTraffic>(
+        std::move(traffic_model),
+        std::make_unique<trace::TraceWriter>(s.record_path, header));
+  }
   return std::make_unique<Simulator>(sim_cfg, std::move(traffic_model),
                                      make_controller(s.policy), make_curve(s.vf_levels));
 }
@@ -264,6 +307,14 @@ double mean_lambda(const Scenario& scenario) {
       return scenario.traffic_scale *
              graph.mean_lambda(apps::kReferenceFps * scenario.speed, scenario.packet_size,
                                scenario.f_node);
+    }
+    case Scenario::Workload::Trace: {
+      if (scenario.trace_path.empty()) {
+        throw std::invalid_argument("mean_lambda: workload=trace requires trace=<path>");
+      }
+      const trace::Trace t = trace::Trace::load(scenario.trace_path);
+      return scenario.trace_scale *
+             t.mean_lambda(scenario.network.width * scenario.network.height);
     }
     case Scenario::Workload::Custom:
       throw std::invalid_argument(

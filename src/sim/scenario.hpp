@@ -50,11 +50,11 @@ std::unique_ptr<dvfs::DvfsController> make_controller(const PolicyConfig& cfg);
 /// unknown names.
 apps::TaskGraph app_graph(const std::string& app);
 
-/// One fully specified experiment. The three workload variants of the old
-/// API (`ExperimentConfig`, `AppExperimentConfig`, the custom-traffic
-/// escape hatch) are all states of this single value type.
+/// One fully specified experiment. Synthetic processes, app task graphs,
+/// recorded packet traces and custom traffic factories are all states of
+/// this single value type.
 struct Scenario {
-  enum class Workload { Synthetic, App, Custom };
+  enum class Workload { Synthetic, App, Trace, Custom };
 
   /// Builds the traffic model for a Custom-workload scenario. Called once
   /// per run, possibly concurrently from SweepRunner worker threads, so it
@@ -75,8 +75,18 @@ struct Scenario {
   double speed = 1.0;          ///< relative to 75 frames/s
   double traffic_scale = 1.0;  ///< calibration multiplier on the rate matrix
 
+  // --- trace replay workload (src/trace/) ---
+  std::string trace_path;     ///< .noctrace file to replay (workload == Trace)
+  double trace_scale = 1.0;   ///< replay time-warp; > 1 = higher offered load
+  bool trace_loop = false;    ///< restart the stream when it ends
+
   // --- custom workload escape hatch ---
   TrafficFactory traffic_factory;  ///< required iff workload == Custom
+
+  // --- recording (orthogonal to the workload) ---
+  /// When non-empty, the run's injected packet stream is captured to this
+  /// `.noctrace` file (any workload; see trace/recording_traffic.hpp).
+  std::string record_path;
 
   // --- platform ---
   noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
@@ -113,8 +123,10 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& scenario);
 /// Nominal mean offered load (flits/node-cycle/node). For app workloads
 /// this derives from the task-graph rate matrix at the scenario's speed
 /// and traffic_scale — the quantity the multimedia benches report
-/// alongside the speed axis. Custom workloads must instantiate their
-/// traffic model to answer, so this throws for them.
+/// alongside the speed axis. For trace workloads it reads the trace file
+/// (total flits over the scaled span, per target-mesh node). Custom
+/// workloads must instantiate their traffic model to answer, so this
+/// throws for them.
 double mean_lambda(const Scenario& scenario);
 
 }  // namespace nocdvfs::sim

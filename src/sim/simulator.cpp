@@ -218,6 +218,12 @@ RunResult Simulator::run(const RunPhases& phases) {
     result.final_frequency_hz = dvfs_.current_frequency();
     result.vf_trace = dvfs_.trace();
 
+    const double delivered_bits =
+        static_cast<double>(ej_delta) * static_cast<double>(cfg_.flit_bits);
+    result.energy_per_bit_pj =
+        delivered_bits > 0.0 ? result.power.total_j() * 1e12 / delivered_bits : 0.0;
+    result.energy_delay_product_js = result.power.total_j() * result.avg_delay_ns * 1e-9;
+
     const std::uint64_t backlog_end = net_.total_source_backlog_flits();
     result.backlog_growth_flits = static_cast<std::int64_t>(backlog_end) -
                                   static_cast<std::int64_t>(measure_start_backlog);

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -142,10 +144,66 @@ int SweepRunner::resolved_threads(std::size_t num_points) const {
   return n;
 }
 
+namespace {
+
+/// Lexically-normalized absolute form, so "out.noctrace" and
+/// "./out.noctrace" (or different relative prefixes) compare equal.
+std::string normalized_path(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path abs = std::filesystem::absolute(path, ec);
+  if (ec) return path;
+  return abs.lexically_normal().string();
+}
+
+/// Reject unrunnable points before any worker starts, naming the exact
+/// sweep point (axis coordinates + group) instead of faulting mid-run.
+void validate_points(const std::vector<SweepPoint>& points,
+                     const std::vector<SweepAxis>& axes, const std::string& group) {
+  std::set<std::string> trace_paths;
+  for (const SweepPoint& p : points) {
+    if (p.scenario.workload == Scenario::Workload::Trace && !p.scenario.trace_path.empty()) {
+      trace_paths.insert(normalized_path(p.scenario.trace_path));
+    }
+  }
+  std::set<std::string> record_paths;
+  for (const SweepPoint& p : points) {
+    const char* problem = nullptr;
+    std::string record;
+    if (!p.scenario.record_path.empty()) record = normalized_path(p.scenario.record_path);
+    if (p.scenario.workload == Scenario::Workload::Custom && !p.scenario.traffic_factory) {
+      problem =
+          "workload=custom but no traffic_factory is set (assign "
+          "Scenario::traffic_factory, or install one per point via SweepAxis::custom)";
+    } else if (p.scenario.workload == Scenario::Workload::Trace &&
+               p.scenario.trace_path.empty()) {
+      problem = "workload=trace but no trace file is set (assign Scenario::trace_path)";
+    } else if (!record.empty() && !record_paths.insert(record).second) {
+      problem =
+          "two sweep points record to the same .noctrace path (parallel workers "
+          "would clobber it); vary record_path per point or record a single run";
+    } else if (!record.empty() && points.size() > 1 && trace_paths.count(record) > 0) {
+      problem =
+          "a sweep point records to a .noctrace another point replays (the writer "
+          "would truncate the file mid-sweep); use distinct paths";
+    }
+    if (!problem) continue;
+    std::ostringstream os;
+    os << "SweepRunner: cannot run sweep point #" << p.index;
+    const std::string label = p.label(axes);
+    if (!label.empty()) os << " (" << label << ")";
+    if (!group.empty()) os << " of sweep '" << group << "'";
+    os << ": " << problem;
+    throw std::invalid_argument(os.str());
+  }
+}
+
+}  // namespace
+
 std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
                                           const std::vector<SweepAxis>& axes,
                                           const std::string& group) {
   std::vector<SweepPoint> points = expand(base, axes);
+  validate_points(points, axes, group);
   std::vector<RunResult> results(points.size());
 
   const int threads = resolved_threads(points.size());
@@ -239,7 +297,8 @@ void CsvResultSink::begin_sweep(const std::string& group,
     os_ << "group,index,point,workload,pattern,app,lambda,speed,policy,seed,"
            "control_period,vf_levels,avg_delay_ns,p50_delay_ns,p95_delay_ns,"
            "p99_delay_ns,avg_latency_cycles,avg_hops,avg_frequency_ghz,avg_voltage,"
-           "power_mw,delivered_flits_per_node_cycle,avg_buffer_occupancy,"
+           "power_mw,energy_per_bit_pj,energy_delay_product_js,"
+           "delivered_flits_per_node_cycle,avg_buffer_occupancy,"
            "packets_delivered,saturated,controller_settled,warmup_node_cycles_used\n";
     header_written_ = true;
   }
@@ -261,7 +320,8 @@ void CsvResultSink::on_result(const SweepRecord& record) {
       << s.vf_levels << ',' << r.avg_delay_ns << ',' << r.p50_delay_ns << ','
       << r.p95_delay_ns << ',' << r.p99_delay_ns << ',' << r.avg_latency_cycles << ','
       << r.avg_hops << ',' << r.avg_frequency_ghz() << ',' << r.avg_voltage << ','
-      << r.power_mw() << ',' << r.delivered_flits_per_node_cycle << ','
+      << r.power_mw() << ',' << r.energy_per_bit_pj << ',' << r.energy_delay_product_js
+      << ',' << r.delivered_flits_per_node_cycle << ','
       << r.avg_buffer_occupancy << ',' << r.packets_delivered << ','
       << (r.saturated ? 1 : 0) << ',' << (r.controller_settled ? 1 : 0) << ','
       << r.warmup_node_cycles_used << '\n';
@@ -298,6 +358,8 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << ",\"avg_latency_cycles\":" << r.avg_latency_cycles
      << ",\"avg_frequency_ghz\":" << r.avg_frequency_ghz()
      << ",\"avg_voltage\":" << r.avg_voltage << ",\"power_mw\":" << r.power_mw()
+     << ",\"energy_per_bit_pj\":" << r.energy_per_bit_pj
+     << ",\"energy_delay_product_js\":" << r.energy_delay_product_js
      << ",\"delivered_flits_per_node_cycle\":" << r.delivered_flits_per_node_cycle
      << ",\"avg_buffer_occupancy\":" << r.avg_buffer_occupancy
      << ",\"packets_delivered\":" << r.packets_delivered

@@ -1,0 +1,38 @@
+#include "trace/recording_traffic.hpp"
+
+#include <stdexcept>
+
+namespace nocdvfs::trace {
+
+RecordingTraffic::RecordingTraffic(std::unique_ptr<traffic::TrafficModel> inner,
+                                   std::unique_ptr<TraceWriter> writer)
+    : inner_(std::move(inner)), writer_(std::move(writer)) {
+  if (!inner_) throw std::invalid_argument("RecordingTraffic: null inner model");
+  if (!writer_) throw std::invalid_argument("RecordingTraffic: null writer");
+}
+
+RecordingTraffic::~RecordingTraffic() {
+  if (net_) net_->set_injection_observer({});
+  // writer_'s destructor backpatches the packet count.
+}
+
+void RecordingTraffic::node_tick(common::Picoseconds now, std::uint64_t noc_cycle,
+                                 noc::Network& net) {
+  if (net_ != &net) {
+    net_ = &net;
+    net.set_injection_observer([this](noc::NodeId src, noc::NodeId dst, int size_flits,
+                                      std::uint8_t traffic_class) {
+      TracePacket p;
+      p.inject_node_cycle = node_cycle_;
+      p.src = static_cast<std::uint16_t>(src);
+      p.dst = static_cast<std::uint16_t>(dst);
+      p.flits = static_cast<std::uint16_t>(size_flits);
+      p.traffic_class = traffic_class;
+      writer_->append(p);
+    });
+  }
+  inner_->node_tick(now, noc_cycle, net);
+  ++node_cycle_;
+}
+
+}  // namespace nocdvfs::trace

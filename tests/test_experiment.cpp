@@ -1,5 +1,6 @@
-// Experiment-layer tests: config plumbing, controller factory, the
-// saturation finder, and the multimedia experiment path.
+// Experiment-layer tests: policy plumbing, controller factory, the
+// saturation finder, and the multimedia scenario path — all on the
+// declarative Scenario API.
 
 #include <gtest/gtest.h>
 
@@ -7,8 +8,8 @@
 #include <cstring>
 #include <string>
 
-#include "sim/experiment.hpp"
 #include "sim/saturation.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
 namespace {
@@ -58,15 +59,15 @@ TEST(MakeController, ProducesTheRequestedPolicy) {
 }
 
 TEST(Experiment, UnknownPatternRejected) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   cfg.pattern = "vortex";
   cfg.phases.warmup_node_cycles = 1000;
   cfg.phases.measure_node_cycles = 1000;
-  EXPECT_THROW(run_synthetic_experiment(cfg), std::invalid_argument);
+  EXPECT_THROW(run(cfg), std::invalid_argument);
 }
 
 TEST(Experiment, ResultEchoesOfferedLoad) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   cfg.network.width = 3;
   cfg.network.height = 3;
   cfg.packet_size = 4;
@@ -75,14 +76,14 @@ TEST(Experiment, ResultEchoesOfferedLoad) {
   cfg.phases.warmup_node_cycles = 10000;
   cfg.phases.measure_node_cycles = 20000;
   cfg.phases.adaptive_warmup = false;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_DOUBLE_EQ(r.offered_lambda, 0.12);
   EXPECT_NEAR(r.measured_offered_lambda, 0.12, 0.02);
   EXPECT_EQ(r.measure_node_cycles, 20000u);
 }
 
 TEST(Experiment, QuantizedVfLevelsRestrictFrequencies) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   cfg.network.width = 3;
   cfg.network.height = 3;
   cfg.packet_size = 4;
@@ -94,7 +95,7 @@ TEST(Experiment, QuantizedVfLevelsRestrictFrequencies) {
   cfg.phases.warmup_node_cycles = 20000;
   cfg.phases.measure_node_cycles = 20000;
   cfg.phases.adaptive_warmup = false;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   // λ/λ_max = 0.25 → Eq.(2) requests 250 MHz → clamp to 333 MHz (level 0).
   EXPECT_NEAR(r.avg_frequency_hz, 333e6, 5e6);
 }
@@ -105,33 +106,38 @@ TEST(AppGraphLookup, KnownAndUnknownNames) {
   EXPECT_THROW(app_graph("doom"), std::invalid_argument);
 }
 
-TEST(AppExperiment, MeanLambdaScalesWithSpeedAndScale) {
-  AppExperimentConfig cfg;
+Scenario app_scenario() {
+  Scenario cfg;
+  cfg.workload = Scenario::Workload::App;
   cfg.app = "h264";
+  return cfg;
+}
+
+TEST(AppExperiment, MeanLambdaScalesWithSpeedAndScale) {
+  Scenario cfg = app_scenario();
   cfg.speed = 1.0;
   cfg.traffic_scale = 1.0;
-  const double base = app_mean_lambda(cfg);
+  const double base = mean_lambda(cfg);
   EXPECT_GT(base, 0.0);
   cfg.speed = 2.0;
-  EXPECT_NEAR(app_mean_lambda(cfg), 2.0 * base, 1e-12);
+  EXPECT_NEAR(mean_lambda(cfg), 2.0 * base, 1e-12);
   cfg.speed = 1.0;
   cfg.traffic_scale = 3.0;
-  EXPECT_NEAR(app_mean_lambda(cfg), 3.0 * base, 1e-12);
+  EXPECT_NEAR(mean_lambda(cfg), 3.0 * base, 1e-12);
 }
 
 TEST(AppExperiment, H264RunsAndDeliversPackets) {
-  AppExperimentConfig cfg;
-  cfg.app = "h264";
+  Scenario cfg = app_scenario();
   cfg.speed = 0.5;
   cfg.packet_size = 8;  // set before deriving the scale: lambda ∝ size
   // Scale the rate matrix so the run carries meaningful load: target a mean
   // offered lambda of ~0.1 at this speed.
-  cfg.traffic_scale = 0.1 / app_mean_lambda(cfg);
+  cfg.traffic_scale = 0.1 / mean_lambda(cfg);
   cfg.control_period = 2000;
   cfg.phases.warmup_node_cycles = 20000;
   cfg.phases.measure_node_cycles = 30000;
   cfg.phases.adaptive_warmup = false;
-  const RunResult r = run_app_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_GT(r.packets_delivered, 100u);
   EXPECT_FALSE(r.saturated);
   EXPECT_NEAR(r.measured_offered_lambda, 0.1, 0.03);
@@ -140,11 +146,10 @@ TEST(AppExperiment, H264RunsAndDeliversPackets) {
 TEST(AppExperiment, NonUniformLoadShowsInPerNodeTraffic) {
   // The H.264 mapping concentrates traffic on the pipeline nodes; sources
   // off the pipeline (unused node (3,0) = node 3) stay silent.
-  AppExperimentConfig cfg;
-  cfg.app = "h264";
+  Scenario cfg = app_scenario();
   cfg.speed = 0.5;
-  cfg.traffic_scale = 0.08 / app_mean_lambda(cfg);
   cfg.packet_size = 8;
+  cfg.traffic_scale = 0.08 / mean_lambda(cfg);
   cfg.control_period = 2000;
   cfg.phases.warmup_node_cycles = 10000;
   cfg.phases.measure_node_cycles = 20000;
@@ -152,14 +157,14 @@ TEST(AppExperiment, NonUniformLoadShowsInPerNodeTraffic) {
   const apps::TaskGraph g = app_graph("h264");
   // Build the simulator indirectly: run and inspect that packets were
   // delivered between mapped endpoints only.
-  const RunResult r = run_app_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_GT(r.packets_delivered, 0u);
   EXPECT_GT(r.avg_hops, 1.0);
   EXPECT_LT(r.avg_hops, 1.0 + g.mean_hops() + 1.0);
 }
 
 TEST(Saturation, FinderBracketsKneeOnSmallMesh) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   cfg.network.width = 4;
   cfg.network.height = 4;
   cfg.network.num_vcs = 4;
@@ -169,7 +174,7 @@ TEST(Saturation, FinderBracketsKneeOnSmallMesh) {
   opt.warmup_node_cycles = 15000;
   opt.measure_node_cycles = 15000;
   opt.resolution = 0.02;
-  const double sat = find_saturation_rate(cfg, opt);
+  const double sat = find_saturation(cfg, opt);
   EXPECT_GT(sat, 0.2);
   EXPECT_LT(sat, 0.9);
   // The knee must actually be a knee: latency at 0.9×sat is finite and the
@@ -179,11 +184,11 @@ TEST(Saturation, FinderBracketsKneeOnSmallMesh) {
   cfg.phases.warmup_node_cycles = 15000;
   cfg.phases.measure_node_cycles = 15000;
   cfg.phases.adaptive_warmup = false;
-  EXPECT_FALSE(run_synthetic_experiment(cfg).saturated);
+  EXPECT_FALSE(run(cfg).saturated);
 }
 
 TEST(Saturation, ShorterPacketsDoNotLowerTheKnee) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   cfg.network.width = 4;
   cfg.network.height = 4;
   cfg.network.num_vcs = 4;
@@ -193,24 +198,24 @@ TEST(Saturation, ShorterPacketsDoNotLowerTheKnee) {
   opt.measure_node_cycles = 12000;
   opt.resolution = 0.03;
   cfg.packet_size = 16;
-  const double sat_long = find_saturation_rate(cfg, opt);
+  const double sat_long = find_saturation(cfg, opt);
   cfg.packet_size = 4;
-  const double sat_short = find_saturation_rate(cfg, opt);
+  const double sat_short = find_saturation(cfg, opt);
   EXPECT_GE(sat_short, sat_long - 0.05);
 }
 
 TEST(Saturation, OptionValidation) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   SaturationSearchOptions opt;
   opt.lo = 0.5;
   opt.hi = 0.4;
-  EXPECT_THROW(find_saturation_rate(cfg, opt), std::invalid_argument);
+  EXPECT_THROW(find_saturation(cfg, opt), std::invalid_argument);
   opt = SaturationSearchOptions{};
   opt.resolution = 0.0;
-  EXPECT_THROW(find_saturation_rate(cfg, opt), std::invalid_argument);
+  EXPECT_THROW(find_saturation(cfg, opt), std::invalid_argument);
   opt = SaturationSearchOptions{};
   opt.latency_knee_factor = -1.0;
-  EXPECT_THROW(find_saturation_rate(cfg, opt), std::invalid_argument);
+  EXPECT_THROW(find_saturation(cfg, opt), std::invalid_argument);
 }
 
 }  // namespace

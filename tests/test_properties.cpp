@@ -12,7 +12,7 @@
 
 #include "common/rng.hpp"
 #include "noc/network.hpp"
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs {
 namespace {
@@ -128,7 +128,7 @@ class DelayBoundSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DelayBoundSweep, MeasuredDelayRespectsSerializationBound) {
   const int pkt = GetParam();
-  sim::ExperimentConfig cfg;
+  sim::Scenario cfg;
   cfg.network.width = 3;
   cfg.network.height = 3;
   cfg.packet_size = pkt;
@@ -137,7 +137,7 @@ TEST_P(DelayBoundSweep, MeasuredDelayRespectsSerializationBound) {
   cfg.phases.warmup_node_cycles = 6000;
   cfg.phases.measure_node_cycles = 10000;
   cfg.phases.adaptive_warmup = false;
-  const auto r = sim::run_synthetic_experiment(cfg);
+  const auto r = sim::run(cfg);
   EXPECT_GE(r.min_delay_ns, static_cast<double>(pkt));  // 1 ns per flit at 1 GHz
   EXPECT_GT(r.packets_delivered, 10u);
 }

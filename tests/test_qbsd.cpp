@@ -6,7 +6,7 @@
 #include <algorithm>
 
 #include "dvfs/qbsd.hpp"
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs {
 namespace {
@@ -93,7 +93,7 @@ TEST(Qbsd, ValidationErrors) {
 TEST(Qbsd, EndToEndRegulatesBetweenRmsdAndNoDvfs) {
   // At a mid load, QBSD with a moderate setpoint must land between the
   // extremes: slower than No-DVFS, delay far below RMSD's plateau.
-  sim::ExperimentConfig cfg;
+  sim::Scenario cfg;
   cfg.network.width = 4;
   cfg.network.height = 4;
   cfg.network.num_vcs = 4;
@@ -109,9 +109,9 @@ TEST(Qbsd, EndToEndRegulatesBetweenRmsdAndNoDvfs) {
   // A low setpoint keeps queues shallow — clearly less aggressive than
   // RMSD's near-saturation pin (whose occupancy at this load is ~0.10).
   cfg.policy.occupancy_setpoint = 0.04;
-  const auto qbsd = sim::run_synthetic_experiment(cfg);
+  const auto qbsd = sim::run(cfg);
   cfg.policy.policy = sim::Policy::Rmsd;
-  const auto rmsd = sim::run_synthetic_experiment(cfg);
+  const auto rmsd = sim::run(cfg);
 
   EXPECT_LT(qbsd.avg_frequency_hz, 1e9 - 1e6) << "QBSD must actually slow down";
   EXPECT_GT(qbsd.avg_frequency_hz, rmsd.avg_frequency_hz)

@@ -9,8 +9,8 @@
 namespace nocdvfs::sim {
 namespace {
 
-ExperimentConfig small_config() {
-  ExperimentConfig cfg;
+Scenario small_config() {
+  Scenario cfg;
   cfg.network.width = 3;
   cfg.network.height = 3;
   cfg.packet_size = 4;
@@ -23,7 +23,7 @@ ExperimentConfig small_config() {
 }
 
 TEST(Replication, AggregatesAcrossSeeds) {
-  const auto rep = replicate_synthetic(small_config(), 5, 100);
+  const auto rep = replicate(small_config(), 5, 100);
   EXPECT_EQ(rep.replications, 5);
   ASSERT_EQ(rep.runs.size(), 5u);
   EXPECT_GT(rep.delay_ns.mean, 0.0);
@@ -37,19 +37,19 @@ TEST(Replication, AggregatesAcrossSeeds) {
 }
 
 TEST(Replication, SingleReplicationHasZeroCi) {
-  const auto rep = replicate_synthetic(small_config(), 1);
+  const auto rep = replicate(small_config(), 1);
   EXPECT_EQ(rep.replications, 1);
   EXPECT_DOUBLE_EQ(rep.delay_ns.ci95_half_width, 0.0);
 }
 
 TEST(Replication, RejectsNonPositiveCount) {
-  EXPECT_THROW(replicate_synthetic(small_config(), 0), std::invalid_argument);
+  EXPECT_THROW(replicate(small_config(), 0), std::invalid_argument);
 }
 
 TEST(SimulatorEdge, ZeroTrafficRunIsClean) {
-  ExperimentConfig cfg = small_config();
+  Scenario cfg = small_config();
   cfg.lambda = 0.0;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_EQ(r.packets_delivered, 0u);
   EXPECT_FALSE(r.saturated);
   EXPECT_EQ(r.avg_delay_ns, 0.0);
@@ -58,21 +58,21 @@ TEST(SimulatorEdge, ZeroTrafficRunIsClean) {
 }
 
 TEST(SimulatorEdge, ZeroTrafficUnderRmsdDropsToFmin) {
-  ExperimentConfig cfg = small_config();
+  Scenario cfg = small_config();
   cfg.lambda = 0.0;
   cfg.policy.policy = Policy::Rmsd;
   cfg.policy.lambda_max = 0.4;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_NEAR(r.avg_frequency_hz, 333e6, 5e6);
   EXPECT_NEAR(r.avg_voltage, 0.56, 0.01);
 }
 
 TEST(SimulatorEdge, YxRoutingDeliversEquivalently) {
-  ExperimentConfig cfg = small_config();
+  Scenario cfg = small_config();
   cfg.network.routing = noc::RoutingAlgo::YX;
-  const RunResult yx = run_synthetic_experiment(cfg);
+  const RunResult yx = run(cfg);
   cfg.network.routing = noc::RoutingAlgo::XY;
-  const RunResult xy = run_synthetic_experiment(cfg);
+  const RunResult xy = run(cfg);
   EXPECT_GT(yx.packets_delivered, 100u);
   EXPECT_FALSE(yx.saturated);
   // Uniform traffic on a square mesh: XY and YX are statistically
@@ -81,17 +81,17 @@ TEST(SimulatorEdge, YxRoutingDeliversEquivalently) {
 }
 
 TEST(SimulatorEdge, RectangularMeshWorks) {
-  ExperimentConfig cfg = small_config();
+  Scenario cfg = small_config();
   cfg.network.width = 6;
   cfg.network.height = 2;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_GT(r.packets_delivered, 100u);
   EXPECT_FALSE(r.saturated);
   EXPECT_NEAR(r.delivered_flits_per_node_cycle, 0.1, 0.015);
 }
 
 TEST(SimulatorEdge, DmsdWithQuantizedVfStillTracksLoosely) {
-  ExperimentConfig cfg = small_config();
+  Scenario cfg = small_config();
   cfg.lambda = 0.15;
   cfg.policy.policy = Policy::Dmsd;
   cfg.policy.target_delay_ns = 60.0;
@@ -99,7 +99,7 @@ TEST(SimulatorEdge, DmsdWithQuantizedVfStillTracksLoosely) {
   cfg.phases.adaptive_warmup = true;
   cfg.phases.warmup_node_cycles = 30000;
   cfg.phases.max_warmup_node_cycles = 300000;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   // Discrete levels put a floor/ceiling around the target; the controller
   // must still keep the delay the right order of magnitude and below the
   // worst-case (F_min) delay.

@@ -1,10 +1,9 @@
 // Scenario-layer tests: the declarative experiment value type, its
-// two-way common::Config binding, workload variants (synthetic / app /
-// custom), and equivalence with the deprecated experiment.hpp wrappers.
+// two-way common::Config binding, and the workload variants
+// (synthetic / app / trace / custom).
 
 #include <gtest/gtest.h>
 
-#include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
 #include "traffic/request_reply.hpp"
 
@@ -87,36 +86,34 @@ TEST(ScenarioConfig, UnknownWorkloadRejected) {
   EXPECT_THROW(Scenario::from_config(c), std::invalid_argument);
 }
 
-TEST(ScenarioRun, MatchesDeprecatedSyntheticWrapper) {
-  ExperimentConfig legacy;
-  legacy.network.width = 3;
-  legacy.network.height = 3;
-  legacy.packet_size = 4;
-  legacy.lambda = 0.12;
-  legacy.control_period = 2000;
-  legacy.phases = short_phases();
-  legacy.policy.policy = Policy::Rmsd;
-  legacy.policy.lambda_max = 0.4;
-
-  const RunResult via_wrapper = run_synthetic_experiment(legacy);
-  const RunResult via_scenario = run(to_scenario(legacy));
-  EXPECT_TRUE(results_identical(via_wrapper, via_scenario));
+TEST(ScenarioRun, RerunIsBitIdentical) {
+  Scenario s = small_synthetic();
+  s.policy.policy = Policy::Rmsd;
+  s.policy.lambda_max = 0.4;
+  const RunResult a = run(s);
+  const RunResult b = run(s);
+  EXPECT_TRUE(results_identical(a, b));
 }
 
-TEST(ScenarioRun, MatchesDeprecatedAppWrapper) {
-  AppExperimentConfig legacy;
-  legacy.app = "h264";
-  legacy.speed = 0.5;
-  legacy.packet_size = 8;
-  legacy.traffic_scale = 0.1 / app_mean_lambda(legacy);
-  legacy.control_period = 2000;
-  legacy.phases = short_phases();
+TEST(ScenarioConfig, TraceAndRecordKeysRoundTrip) {
+  common::Config c;
+  Scenario::declare_keys(c);
+  const char* argv[] = {"prog", "workload=trace", "trace=run.noctrace",
+                        "trace_scale=1.5", "trace_loop=1", "record=out.noctrace"};
+  c.parse_args(6, argv);
+  const Scenario s = Scenario::from_config(c);
+  EXPECT_EQ(s.workload, Scenario::Workload::Trace);
+  EXPECT_EQ(s.trace_path, "run.noctrace");
+  EXPECT_DOUBLE_EQ(s.trace_scale, 1.5);
+  EXPECT_TRUE(s.trace_loop);
+  EXPECT_EQ(s.record_path, "out.noctrace");
+}
 
-  const RunResult via_wrapper = run_app_experiment(legacy);
-  const RunResult via_scenario = run(to_scenario(legacy));
-  EXPECT_TRUE(results_identical(via_wrapper, via_scenario));
-  // The app's task graph pins the mesh regardless of the scenario default.
-  EXPECT_GT(via_scenario.packets_delivered, 0u);
+TEST(ScenarioRun, TraceWorkloadWithoutPathThrows) {
+  Scenario s = small_synthetic();
+  s.workload = Scenario::Workload::Trace;
+  EXPECT_THROW(run(s), std::invalid_argument);
+  EXPECT_THROW(mean_lambda(s), std::invalid_argument);
 }
 
 TEST(ScenarioRun, CustomWorkloadRunsThroughFactory) {

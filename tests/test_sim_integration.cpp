@@ -17,7 +17,7 @@
 
 #include <map>
 
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
 namespace {
@@ -25,8 +25,8 @@ namespace {
 constexpr double kLambdaMax = 0.45;
 constexpr double kFnode = 1e9;
 
-ExperimentConfig base_config() {
-  ExperimentConfig cfg;
+Scenario base_config() {
+  Scenario cfg;
   cfg.network.width = 4;
   cfg.network.height = 4;
   cfg.network.num_vcs = 4;
@@ -46,10 +46,10 @@ ExperimentConfig base_config() {
 /// measured once (the paper's procedure for its Fig. 4).
 double dmsd_target_ns() {
   static const double target = [] {
-    ExperimentConfig cfg = base_config();
+    Scenario cfg = base_config();
     cfg.lambda = kLambdaMax;
     cfg.policy.policy = Policy::NoDvfs;
-    return run_synthetic_experiment(cfg).avg_delay_ns;
+    return run(cfg).avg_delay_ns;
   }();
   return target;
 }
@@ -60,11 +60,11 @@ const RunResult& cached_run(Policy policy, double lambda) {
                                   static_cast<int>(lambda * 1000 + 0.5));
   auto it = cache.find(key);
   if (it == cache.end()) {
-    ExperimentConfig cfg = base_config();
+    Scenario cfg = base_config();
     cfg.lambda = lambda;
     cfg.policy.policy = policy;
     cfg.policy.target_delay_ns = dmsd_target_ns();
-    it = cache.emplace(key, run_synthetic_experiment(cfg)).first;
+    it = cache.emplace(key, run(cfg)).first;
   }
   return it->second;
 }
@@ -184,30 +184,30 @@ TEST(Integration, ThroughputMatchesOfferedForAllPolicies) {
 }
 
 TEST(Integration, SaturationDetectedAtOverload) {
-  ExperimentConfig cfg = base_config();
+  Scenario cfg = base_config();
   cfg.lambda = 0.95;
   cfg.policy.policy = Policy::NoDvfs;
   cfg.phases.warmup_node_cycles = 20000;
   cfg.phases.measure_node_cycles = 30000;
   cfg.phases.adaptive_warmup = false;
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_TRUE(r.saturated);
   EXPECT_LT(r.delivered_flits_per_node_cycle, 0.95 * 0.95);
 }
 
 TEST(Integration, DeterministicForEqualSeeds) {
-  ExperimentConfig cfg = base_config();
+  Scenario cfg = base_config();
   cfg.lambda = 0.2;
   cfg.policy.policy = Policy::Dmsd;
   cfg.policy.target_delay_ns = 120.0;
-  const RunResult a = run_synthetic_experiment(cfg);
-  const RunResult b = run_synthetic_experiment(cfg);
+  const RunResult a = run(cfg);
+  const RunResult b = run(cfg);
   EXPECT_EQ(a.packets_delivered, b.packets_delivered);
   EXPECT_DOUBLE_EQ(a.avg_delay_ns, b.avg_delay_ns);
   EXPECT_DOUBLE_EQ(a.power.total_j(), b.power.total_j());
 
   cfg.seed = 18;
-  const RunResult c = run_synthetic_experiment(cfg);
+  const RunResult c = run(cfg);
   EXPECT_NE(a.packets_delivered, c.packets_delivered);
   EXPECT_NEAR(c.avg_delay_ns, a.avg_delay_ns, 0.25 * a.avg_delay_ns)
       << "different seeds: same physics, different noise";
@@ -228,17 +228,17 @@ TEST(Integration, ControllerSettledFlagSet) {
 
 TEST(Integration, OnOffTrafficKeepsTradeOffDirection) {
   // Bursty traffic (extension beyond the paper): ordering must persist.
-  ExperimentConfig cfg = base_config();
+  Scenario cfg = base_config();
   cfg.process = "onoff";
   cfg.lambda = 0.15;
   cfg.policy.target_delay_ns = dmsd_target_ns();
 
   cfg.policy.policy = Policy::Rmsd;
-  const RunResult rmsd = run_synthetic_experiment(cfg);
+  const RunResult rmsd = run(cfg);
   cfg.policy.policy = Policy::Dmsd;
-  const RunResult dmsd = run_synthetic_experiment(cfg);
+  const RunResult dmsd = run(cfg);
   cfg.policy.policy = Policy::NoDvfs;
-  const RunResult none = run_synthetic_experiment(cfg);
+  const RunResult none = run(cfg);
 
   EXPECT_LT(rmsd.power_mw(), none.power_mw());
   EXPECT_LT(dmsd.power_mw(), none.power_mw());

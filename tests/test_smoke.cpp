@@ -4,13 +4,13 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
 namespace {
 
 TEST(Smoke, ShortUniformRunDeliversPackets) {
-  ExperimentConfig cfg;
+  Scenario cfg;
   cfg.network.width = 4;
   cfg.network.height = 4;
   cfg.lambda = 0.1;
@@ -20,7 +20,7 @@ TEST(Smoke, ShortUniformRunDeliversPackets) {
   cfg.phases.adaptive_warmup = false;
   cfg.control_period = 5000;
 
-  const RunResult r = run_synthetic_experiment(cfg);
+  const RunResult r = run(cfg);
   EXPECT_GT(r.packets_delivered, 100u);
   EXPECT_GT(r.avg_delay_ns, 0.0);
   EXPECT_FALSE(r.saturated);

@@ -4,20 +4,52 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/experiment.hpp"
+#include <memory>
+#include <utility>
+
+#include "sim/scenario.hpp"
 #include "traffic/request_reply.hpp"
 #include "traffic/step_load.hpp"
 
 namespace nocdvfs {
 namespace {
 
-sim::SimulatorConfig small_sim_config() {
-  sim::SimulatorConfig cfg;
-  cfg.network.width = 4;
-  cfg.network.height = 4;
-  cfg.network.num_vcs = 4;
-  cfg.control_period_node_cycles = 2000;
-  return cfg;
+/// Forwarding decorator that shares ownership of a model built outside the
+/// scenario, so a test can both hand it to run() (which destroys its copy
+/// with the simulator) and inspect the model's counters afterwards.
+class SharedModel final : public traffic::TrafficModel {
+ public:
+  explicit SharedModel(std::shared_ptr<traffic::TrafficModel> inner)
+      : inner_(std::move(inner)) {}
+
+  void node_tick(common::Picoseconds now, std::uint64_t noc_cycle,
+                 noc::Network& net) override {
+    inner_->node_tick(now, noc_cycle, net);
+  }
+  void on_packet_delivered(const noc::PacketRecord& record,
+                           common::Picoseconds now) override {
+    inner_->on_packet_delivered(record, now);
+  }
+  double offered_flits_per_node_cycle() const noexcept override {
+    return inner_->offered_flits_per_node_cycle();
+  }
+  const char* name() const noexcept override { return inner_->name(); }
+
+ private:
+  std::shared_ptr<traffic::TrafficModel> inner_;
+};
+
+sim::Scenario custom_scenario(std::shared_ptr<traffic::TrafficModel> model) {
+  sim::Scenario s;
+  s.workload = sim::Scenario::Workload::Custom;
+  s.network.width = 4;
+  s.network.height = 4;
+  s.network.num_vcs = 4;
+  s.control_period = 2000;
+  s.traffic_factory = [model](const sim::Scenario&) -> std::unique_ptr<traffic::TrafficModel> {
+    return std::make_unique<SharedModel>(model);
+  };
+  return s;
 }
 
 sim::RunPhases short_phases() {
@@ -35,17 +67,16 @@ TEST(RequestReply, EveryRequestEventuallyGetsAReply) {
   params.request_size = 2;
   params.reply_size = 6;
   params.service_node_cycles = 10;
-  auto model = std::make_unique<traffic::RequestReplyTraffic>(topo, params);
-  auto* raw = model.get();
+  auto model = std::make_shared<traffic::RequestReplyTraffic>(topo, params);
 
-  sim::PolicyConfig pc;  // No-DVFS
-  const auto r = sim::run_custom_experiment(small_sim_config(), std::move(model), pc, 0,
-                                            short_phases());
-  EXPECT_GT(raw->requests_issued(), 100u);
+  sim::Scenario s = custom_scenario(model);  // No-DVFS policy default
+  s.phases = short_phases();
+  const auto r = sim::run(s);
+  EXPECT_GT(model->requests_issued(), 100u);
   // Replies lag requests only by what is in flight at the end.
-  EXPECT_NEAR(static_cast<double>(raw->replies_issued()),
-              static_cast<double>(raw->requests_issued()),
-              0.05 * static_cast<double>(raw->requests_issued()));
+  EXPECT_NEAR(static_cast<double>(model->replies_issued()),
+              static_cast<double>(model->requests_issued()),
+              0.05 * static_cast<double>(model->requests_issued()));
   EXPECT_GT(r.class1_packets, 0u);
   EXPECT_GT(r.class0_packets, 0u);
 }
@@ -55,11 +86,11 @@ TEST(RequestReply, RttExceedsOneWayDelayPlusService) {
   traffic::RequestReplyParams params;
   params.request_rate = 0.004;
   params.service_node_cycles = 25;
-  auto model = std::make_unique<traffic::RequestReplyTraffic>(topo, params);
+  auto model = std::make_shared<traffic::RequestReplyTraffic>(topo, params);
 
-  sim::PolicyConfig pc;
-  const auto r = sim::run_custom_experiment(small_sim_config(), std::move(model), pc, 0,
-                                            short_phases());
+  sim::Scenario s = custom_scenario(model);
+  s.phases = short_phases();
+  const auto r = sim::run(s);
   ASSERT_GT(r.class1_packets, 50u);
   // RTT (class 1) >= one-way request delay (class 0) + 25 ns service.
   EXPECT_GT(r.avg_class1_delay_ns, r.avg_class0_delay_ns + 25.0);
@@ -75,16 +106,16 @@ TEST(RequestReply, RmsdInflatesRttMoreThanDmsd) {
   params.request_rate = 0.0065;  // ≈0.13 flits/cycle offered = lambda_max/3
 
   auto run_with = [&](sim::Policy policy) {
-    sim::PolicyConfig pc;
-    pc.policy = policy;
-    pc.lambda_max = 0.40;
-    pc.target_delay_ns = 120.0;
-    auto model = std::make_unique<traffic::RequestReplyTraffic>(topo, params);
-    sim::RunPhases phases = short_phases();
-    phases.adaptive_warmup = true;
-    phases.warmup_node_cycles = 40000;
-    phases.max_warmup_node_cycles = 400000;
-    return sim::run_custom_experiment(small_sim_config(), std::move(model), pc, 0, phases);
+    auto model = std::make_shared<traffic::RequestReplyTraffic>(topo, params);
+    sim::Scenario s = custom_scenario(model);
+    s.policy.policy = policy;
+    s.policy.lambda_max = 0.40;
+    s.policy.target_delay_ns = 120.0;
+    s.phases = short_phases();
+    s.phases.adaptive_warmup = true;
+    s.phases.warmup_node_cycles = 40000;
+    s.phases.max_warmup_node_cycles = 400000;
+    return sim::run(s);
   };
   const auto rmsd = run_with(sim::Policy::Rmsd);
   const auto dmsd = run_with(sim::Policy::Dmsd);
@@ -136,13 +167,13 @@ TEST(StepLoad, WindowTraceShowsTheTransient) {
   after = before;
   after.lambda = 0.30;
   // Step in the middle of the measured region.
-  auto model = std::make_unique<traffic::StepLoadTraffic>(topo, before, after,
+  auto model = std::make_shared<traffic::StepLoadTraffic>(topo, before, after,
                                                           /*step_at_ps=*/40000ull * 1000ull);
-  sim::PolicyConfig pc;
-  pc.policy = sim::Policy::Rmsd;
-  pc.lambda_max = 0.45;
-  const auto r = sim::run_custom_experiment(small_sim_config(), std::move(model), pc, 0,
-                                            short_phases());
+  sim::Scenario s = custom_scenario(model);
+  s.policy.policy = sim::Policy::Rmsd;
+  s.policy.lambda_max = 0.45;
+  s.phases = short_phases();
+  const auto r = sim::run(s);
   ASSERT_GE(r.window_trace.size(), 10u);
   // Frequency before the step must be lower than after (Eq. 2 scales with
   // the offered rate).
@@ -155,7 +186,7 @@ TEST(StepLoad, WindowTraceShowsTheTransient) {
 }
 
 TEST(WindowTrace, RecordedForEveryControlWindow) {
-  sim::ExperimentConfig cfg;
+  sim::Scenario cfg;
   cfg.network.width = 3;
   cfg.network.height = 3;
   cfg.packet_size = 4;
@@ -164,7 +195,7 @@ TEST(WindowTrace, RecordedForEveryControlWindow) {
   cfg.phases.warmup_node_cycles = 10000;
   cfg.phases.measure_node_cycles = 10000;
   cfg.phases.adaptive_warmup = false;
-  const auto r = sim::run_synthetic_experiment(cfg);
+  const auto r = sim::run(cfg);
   // 20000 node cycles at one update per 2000 → 10 windows (the final
   // boundary finalizes instead of updating).
   EXPECT_GE(r.window_trace.size(), 9u);

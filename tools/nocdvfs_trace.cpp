@@ -1,0 +1,151 @@
+/// \file nocdvfs_trace.cpp
+/// Inspection CLI for `.noctrace` packet traces:
+///
+///   nocdvfs_trace info  <file>       header + aggregate summary
+///   nocdvfs_trace head  <file> [n]   first n records (default 10)
+///   nocdvfs_trace stats <file>       per-class / per-node breakdown
+///
+/// `head` and `stats` stream through TraceReader — they never hold the
+/// whole trace in memory, so they work on arbitrarily large captures.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace {
+
+using nocdvfs::trace::TraceReader;
+using nocdvfs::trace::TracePacket;
+
+int usage() {
+  std::cerr << "usage: nocdvfs_trace <info|head|stats> <file.noctrace> [count]\n"
+               "  info   print the header and aggregate summary\n"
+               "  head   print the first [count] records (default 10)\n"
+               "  stats  per-class and per-node breakdown of the full trace\n";
+  return 2;
+}
+
+void print_header(const TraceReader& reader, const std::string& path) {
+  const auto& h = reader.header();
+  std::cout << "file:        " << path << "\n"
+            << "format:      noctrace v" << nocdvfs::trace::kTraceVersion << "\n"
+            << "mesh:        " << h.width << "x" << h.height << " (" << h.num_nodes()
+            << " nodes)\n"
+            << "flit bits:   " << h.flit_bits << "\n"
+            << "node clock:  " << h.f_node_hz * 1e-9 << " GHz\n"
+            << "packets:     " << h.packet_count << "\n";
+}
+
+int cmd_info(const std::string& path) {
+  TraceReader reader(path);
+  print_header(reader, path);
+  std::uint64_t flits = 0;
+  std::uint64_t last_cycle = 0;
+  while (auto p = reader.next()) {
+    flits += p->flits;
+    last_cycle = p->inject_node_cycle;
+  }
+  const std::uint64_t span = reader.packets_read() > 0 ? last_cycle + 1 : 0;
+  std::cout << "flits:       " << flits << "\n"
+            << "span:        " << span << " node cycles\n";
+  if (span > 0) {
+    const double lambda = static_cast<double>(flits) /
+                          (static_cast<double>(span) * reader.header().num_nodes());
+    std::cout << "mean lambda: " << lambda << " flits/node-cycle/node\n";
+  }
+  return 0;
+}
+
+int cmd_head(const std::string& path, std::uint64_t count) {
+  TraceReader reader(path);
+  std::cout << "cycle,src,dst,flits,class\n";
+  std::uint64_t shown = 0;
+  while (shown < count) {
+    const auto p = reader.next();
+    if (!p) break;
+    std::cout << p->inject_node_cycle << ',' << p->src << ',' << p->dst << ','
+              << p->flits << ',' << static_cast<int>(p->traffic_class) << "\n";
+    ++shown;
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& path) {
+  TraceReader reader(path);
+  print_header(reader, path);
+
+  const int nodes = reader.header().num_nodes();
+  std::vector<std::uint64_t> src_flits(static_cast<std::size_t>(nodes), 0);
+  std::uint64_t class_packets[256] = {};
+  std::uint64_t flits = 0;
+  std::uint16_t min_size = 0xffff;
+  std::uint16_t max_size = 0;
+  std::uint64_t last_cycle = 0;
+
+  while (auto p = reader.next()) {
+    src_flits[p->src] += p->flits;
+    ++class_packets[p->traffic_class];
+    flits += p->flits;
+    min_size = std::min(min_size, p->flits);
+    max_size = std::max(max_size, p->flits);
+    last_cycle = p->inject_node_cycle;
+  }
+  const std::uint64_t packets = reader.packets_read();
+  if (packets == 0) {
+    std::cout << "(empty trace)\n";
+    return 0;
+  }
+  const std::uint64_t span = last_cycle + 1;
+  std::cout << "span:        " << span << " node cycles\n"
+            << "flits:       " << flits << "\n"
+            << "mean lambda: "
+            << static_cast<double>(flits) / (static_cast<double>(span) * nodes)
+            << " flits/node-cycle/node\n"
+            << "packet size: min " << min_size << " / mean "
+            << static_cast<double>(flits) / static_cast<double>(packets) << " / max "
+            << max_size << " flits\n";
+
+  std::cout << "classes:    ";
+  for (int c = 0; c < 256; ++c) {
+    if (class_packets[c] > 0) std::cout << "  [" << c << "] " << class_packets[c];
+  }
+  std::cout << "\n";
+
+  // Top-5 sources by injected flits.
+  std::vector<int> order(src_flits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return src_flits[a] > src_flits[b]; });
+  std::cout << "top sources (node: flits):";
+  const int top = std::min<int>(5, nodes);
+  for (int i = 0; i < top && src_flits[order[i]] > 0; ++i) {
+    std::cout << "  " << order[i] << ": " << src_flits[order[i]];
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  try {
+    if (cmd == "info") return cmd_info(path);
+    if (cmd == "head") {
+      std::uint64_t count = 10;
+      if (argc > 3) count = std::stoull(argv[3]);
+      return cmd_head(path, count);
+    }
+    if (cmd == "stats") return cmd_stats(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
