@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string helpers shared across the experiment surface.
+
+#include <string>
+#include <vector>
+
+namespace nocdvfs::common {
+
+/// Split on commas, preserving empty tokens ("a,,b" → {"a","","b"});
+/// an empty input yields an empty vector.
+inline std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    out.push_back(text.substr(pos, comma - pos));
+    if (comma == text.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace nocdvfs::common

@@ -36,9 +36,21 @@ common::Hertz DvfsManager::apply_update(common::Picoseconds now, const WindowMea
   if (std::abs(applied - f_current_) > 1e3) {
     f_current_ = applied;
     vdd_current_ = curve_.voltage_for(applied);
+    if (trace_limit_ > 0 && trace_.size() >= trace_limit_) {
+      trace_.erase(trace_.begin(),
+                   trace_.begin() + static_cast<std::ptrdiff_t>(trace_.size() - trace_limit_ + 1));
+    }
     trace_.push_back({now, f_current_, vdd_current_});
   }
   return f_current_;
+}
+
+void DvfsManager::set_trace_limit(std::size_t max_points) {
+  trace_limit_ = max_points;
+  if (trace_limit_ > 0 && trace_.size() > trace_limit_) {
+    trace_.erase(trace_.begin(),
+                 trace_.begin() + static_cast<std::ptrdiff_t>(trace_.size() - trace_limit_));
+  }
 }
 
 void DvfsManager::reset() {

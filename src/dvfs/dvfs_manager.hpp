@@ -50,6 +50,12 @@ class DvfsManager {
   const std::vector<VfTracePoint>& trace() const noexcept { return trace_; }
   void clear_trace() { trace_.clear(); }
 
+  /// Bound the actuation trace to the `max_points` most recent points
+  /// (0 = unbounded, the default). Long sweeps over jittery policies can
+  /// otherwise accumulate one point per control window for the whole run.
+  void set_trace_limit(std::size_t max_points);
+  std::size_t trace_limit() const noexcept { return trace_limit_; }
+
   /// Reset policy state and return to the top of the range.
   void reset();
 
@@ -61,6 +67,7 @@ class DvfsManager {
   common::Hertz f_current_;
   double vdd_current_;
   std::vector<VfTracePoint> trace_;
+  std::size_t trace_limit_ = 0;  ///< 0 = unbounded
 };
 
 }  // namespace nocdvfs::dvfs

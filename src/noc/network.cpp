@@ -1,12 +1,47 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nocdvfs::noc {
 
+int NetworkConfig::num_islands() const noexcept {
+  if (island_of.empty()) return 1;
+  return *std::max_element(island_of.begin(), island_of.end()) + 1;
+}
+
 Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.height) {
   if (cfg.link_latency < 1) throw std::invalid_argument("Network: link_latency must be >= 1");
+  if (cfg.cdc_sync_cycles < 0) {
+    throw std::invalid_argument("Network: cdc_sync_cycles must be >= 0");
+  }
   const int n = topo_.num_nodes();
+
+  // Resolve the island partition (empty config = one global island) and
+  // validate it the same way vfi::IslandMap does: contiguous non-empty ids.
+  if (cfg.island_of.empty()) {
+    island_of_.assign(static_cast<std::size_t>(n), 0);
+  } else if (static_cast<int>(cfg.island_of.size()) != n) {
+    throw std::invalid_argument("Network: island_of must have one entry per node");
+  } else {
+    island_of_ = cfg.island_of;
+  }
+  const int k = *std::max_element(island_of_.begin(), island_of_.end()) + 1;
+  if (*std::min_element(island_of_.begin(), island_of_.end()) < 0) {
+    throw std::invalid_argument("Network: negative island id");
+  }
+  islands_.resize(static_cast<std::size_t>(k));
+  island_cycles_.assign(static_cast<std::size_t>(k), 0);
+  for (NodeId id = 0; id < n; ++id) {
+    islands_[static_cast<std::size_t>(island_of_[static_cast<std::size_t>(id)])]
+        .members.push_back(id);
+  }
+  for (int isl = 0; isl < k; ++isl) {
+    if (islands_[static_cast<std::size_t>(isl)].members.empty()) {
+      throw std::invalid_argument("Network: island ids must be contiguous (island " +
+                                  std::to_string(isl) + " has no nodes)");
+    }
+  }
 
   RouterConfig rcfg;
   rcfg.num_vcs = cfg.num_vcs;
@@ -26,24 +61,41 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
 
   // Inter-router links: one flit channel and one reverse credit channel per
   // directed edge. Wire East/North from each node towards its neighbor; the
-  // opposite direction is wired when visiting the neighbor.
+  // opposite direction is wired when visiting the neighbor. A link whose
+  // endpoints live in different islands becomes a CDC fifo pair: the flit
+  // fifo is read (and therefore clocked) by the receiver's island, the
+  // credit fifo by the sender's.
   for (NodeId id = 0; id < n; ++id) {
+    const int src_island = island_of_[static_cast<std::size_t>(id)];
     for (PortDir dir : {PortDir::North, PortDir::East, PortDir::South, PortDir::West}) {
       if (!topo_.has_neighbor(id, dir)) continue;
       const NodeId nb = topo_.neighbor(id, dir);
-      auto& flit_ch = new_flit_channel(cfg.link_latency);
-      auto& credit_ch = new_credit_channel(1);
-      routers_[static_cast<std::size_t>(id)]->connect_output(dir, &flit_ch, &credit_ch);
-      routers_[static_cast<std::size_t>(nb)]->connect_input(opposite(dir), &flit_ch, &credit_ch);
+      const int dst_island = island_of_[static_cast<std::size_t>(nb)];
+      islands_[static_cast<std::size_t>(src_island)].links_sourced += 1;
+      FlitPort* flit_ch = nullptr;
+      CreditPort* credit_ch = nullptr;
+      if (src_island == dst_island) {
+        flit_ch = &new_flit_channel(cfg.link_latency, src_island);
+        credit_ch = &new_credit_channel(1, src_island);
+      } else {
+        ++num_boundary_links_;
+        flit_ch = &new_cdc_flit_channel(cfg.link_latency + cfg.cdc_sync_cycles,
+                                        dst_island);
+        credit_ch = &new_cdc_credit_channel(1 + cfg.cdc_sync_cycles, src_island);
+      }
+      routers_[static_cast<std::size_t>(id)]->connect_output(dir, flit_ch, credit_ch);
+      routers_[static_cast<std::size_t>(nb)]->connect_input(opposite(dir), flit_ch, credit_ch);
     }
   }
 
-  // Local ports: injection (NI -> router) and ejection (router -> NI).
+  // Local ports: injection (NI -> router) and ejection (router -> NI);
+  // always intra-island.
   for (NodeId id = 0; id < n; ++id) {
-    auto& inject_flit = new_flit_channel(1);
-    auto& inject_credit = new_credit_channel(1);
-    auto& eject_flit = new_flit_channel(1);
-    auto& eject_credit = new_credit_channel(1);
+    const int isl = island_of_[static_cast<std::size_t>(id)];
+    auto& inject_flit = new_flit_channel(1, isl);
+    auto& inject_credit = new_credit_channel(1, isl);
+    auto& eject_flit = new_flit_channel(1, isl);
+    auto& eject_credit = new_credit_channel(1, isl);
     routers_[static_cast<std::size_t>(id)]->connect_input(PortDir::Local, &inject_flit,
                                                           &inject_credit);
     routers_[static_cast<std::size_t>(id)]->connect_output(PortDir::Local, &eject_flit,
@@ -53,14 +105,32 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
   }
 }
 
-FlitChannel& Network::new_flit_channel(int latency) {
+FlitChannel& Network::new_flit_channel(int latency, int island) {
   flit_channels_.emplace_back(latency);
+  islands_[static_cast<std::size_t>(island)].flit_lines.push_back(&flit_channels_.back());
   return flit_channels_.back();
 }
 
-CreditChannel& Network::new_credit_channel(int latency) {
+CreditChannel& Network::new_credit_channel(int latency, int island) {
   credit_channels_.emplace_back(latency);
+  islands_[static_cast<std::size_t>(island)].credit_lines.push_back(&credit_channels_.back());
   return credit_channels_.back();
+}
+
+FlitCdcFifo& Network::new_cdc_flit_channel(int ready_delay, int reader_island) {
+  cdc_flit_channels_.emplace_back(ready_delay,
+                                  cfg_.num_vcs * cfg_.vc_buffer_depth + 2);
+  islands_[static_cast<std::size_t>(reader_island)].cdc_flit_in.push_back(
+      &cdc_flit_channels_.back());
+  return cdc_flit_channels_.back();
+}
+
+CreditCdcFifo& Network::new_cdc_credit_channel(int ready_delay, int reader_island) {
+  cdc_credit_channels_.emplace_back(ready_delay,
+                                    cfg_.num_vcs * cfg_.vc_buffer_depth + 2);
+  islands_[static_cast<std::size_t>(reader_island)].cdc_credit_in.push_back(
+      &cdc_credit_channels_.back());
+  return cdc_credit_channels_.back();
 }
 
 void Network::set_injection_observer(InjectionObserver observer) {
@@ -70,13 +140,35 @@ void Network::set_injection_observer(InjectionObserver observer) {
 }
 
 void Network::step(common::Picoseconds now) {
-  ++cycle_;
-  for (auto& ch : flit_channels_) ch.tick();
-  for (auto& ch : credit_channels_) ch.tick();
-  for (auto& r : routers_) r->receive_phase();
-  for (auto& ni : nis_) ni->receive_phase(now, cycle_);
-  for (auto& r : routers_) r->compute_phase();
-  for (auto& ni : nis_) ni->inject_phase();
+  if (num_islands() != 1) {
+    throw std::logic_error("Network::step: multi-island network must be stepped per island");
+  }
+  step_island(0, now);
+}
+
+void Network::step_island(int island, common::Picoseconds now) {
+  tick_island(island);
+  run_island_phases(island, now);
+}
+
+void Network::tick_island(int island) {
+  Island& isl = islands_.at(static_cast<std::size_t>(island));
+  ++island_cycles_[static_cast<std::size_t>(island)];
+  for (FlitChannel* ch : isl.flit_lines) ch->tick();
+  for (FlitCdcFifo* ch : isl.cdc_flit_in) ch->tick();
+  for (CreditChannel* ch : isl.credit_lines) ch->tick();
+  for (CreditCdcFifo* ch : isl.cdc_credit_in) ch->tick();
+}
+
+void Network::run_island_phases(int island, common::Picoseconds now) {
+  Island& isl = islands_.at(static_cast<std::size_t>(island));
+  const std::uint64_t cycle = island_cycles_[static_cast<std::size_t>(island)];
+  for (const NodeId id : isl.members) routers_[static_cast<std::size_t>(id)]->receive_phase();
+  for (const NodeId id : isl.members) {
+    nis_[static_cast<std::size_t>(id)]->receive_phase(now, cycle);
+  }
+  for (const NodeId id : isl.members) routers_[static_cast<std::size_t>(id)]->compute_phase();
+  for (const NodeId id : isl.members) nis_[static_cast<std::size_t>(id)]->inject_phase();
 }
 
 power::ActivityCounters Network::total_activity() const {
@@ -91,6 +183,23 @@ power::NetworkInventory Network::inventory() const {
   inv.num_routers = topo_.num_nodes();
   inv.num_links = topo_.num_directed_links();
   inv.num_local_links = 2 * topo_.num_nodes();
+  return inv;
+}
+
+power::ActivityCounters Network::island_activity(int island) const {
+  power::ActivityCounters total;
+  const Island& isl = islands_.at(static_cast<std::size_t>(island));
+  for (const NodeId id : isl.members) total += routers_[static_cast<std::size_t>(id)]->activity();
+  for (const NodeId id : isl.members) total += nis_[static_cast<std::size_t>(id)]->activity();
+  return total;
+}
+
+power::NetworkInventory Network::island_inventory(int island) const {
+  const Island& isl = islands_.at(static_cast<std::size_t>(island));
+  power::NetworkInventory inv;
+  inv.num_routers = static_cast<int>(isl.members.size());
+  inv.num_links = isl.links_sourced;
+  inv.num_local_links = 2 * static_cast<int>(isl.members.size());
   return inv;
 }
 
@@ -142,10 +251,59 @@ std::uint64_t Network::buffer_capacity_flits() const {
   return n;
 }
 
+std::uint64_t Network::island_flits_generated(int island) const {
+  std::uint64_t n = 0;
+  for (const NodeId id : island_members(island)) {
+    n += nis_[static_cast<std::size_t>(id)]->flits_generated();
+  }
+  return n;
+}
+
+std::uint64_t Network::island_flits_injected(int island) const {
+  std::uint64_t n = 0;
+  for (const NodeId id : island_members(island)) {
+    n += nis_[static_cast<std::size_t>(id)]->flits_injected();
+  }
+  return n;
+}
+
+std::uint64_t Network::island_flits_ejected(int island) const {
+  std::uint64_t n = 0;
+  for (const NodeId id : island_members(island)) {
+    n += nis_[static_cast<std::size_t>(id)]->flits_ejected();
+  }
+  return n;
+}
+
+std::uint64_t Network::island_source_backlog_flits(int island) const {
+  std::uint64_t n = 0;
+  for (const NodeId id : island_members(island)) {
+    n += nis_[static_cast<std::size_t>(id)]->source_backlog_flits();
+  }
+  return n;
+}
+
+std::uint64_t Network::island_buffered_flits_now(int island) const {
+  std::uint64_t n = 0;
+  for (const NodeId id : island_members(island)) {
+    n += static_cast<std::uint64_t>(routers_[static_cast<std::size_t>(id)]->buffered_now());
+  }
+  return n;
+}
+
+std::uint64_t Network::island_buffer_capacity_flits(int island) const {
+  std::uint64_t n = 0;
+  for (const NodeId id : island_members(island)) {
+    n += static_cast<std::uint64_t>(routers_[static_cast<std::size_t>(id)]->buffer_capacity());
+  }
+  return n;
+}
+
 std::uint64_t Network::flits_in_network() const {
   std::uint64_t n = 0;
   for (const auto& r : routers_) n += static_cast<std::uint64_t>(r->buffered_flits());
   for (const auto& ch : flit_channels_) n += ch.in_flight();
+  for (const auto& ch : cdc_flit_channels_) n += ch.in_flight();
   return n;
 }
 

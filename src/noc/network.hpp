@@ -2,11 +2,21 @@
 
 /// \file network.hpp
 /// The assembled NoC: mesh of routers, inter-router links, credit wires and
-/// per-node network interfaces. `step()` advances exactly one NoC clock
-/// cycle; the dual-clock simulation kernel decides *when* those cycles
-/// happen in master (picosecond) time — that separation is what lets the
-/// DVFS controller slow the network relative to the nodes (the paper's
-/// central mechanism).
+/// per-node network interfaces, partitioned into one or more clock islands.
+///
+/// With a single island (the default, and the paper's configuration)
+/// `step()` advances exactly one NoC clock cycle; the clock kernel decides
+/// *when* those cycles happen in master (picosecond) time — that
+/// separation is what lets the DVFS controller slow the network relative
+/// to the nodes (the paper's central mechanism).
+///
+/// With a voltage–frequency-island partition (`NetworkConfig::island_of`)
+/// each island is stepped independently via `step_island()` whenever *its*
+/// clock fires. Links whose endpoints live in different islands become
+/// clock-domain crossings: an asynchronous FIFO (`CdcFifo`) ticked by the
+/// receiving domain, charging `cdc_sync_cycles` receiver cycles of
+/// synchronizer latency on top of the link pipeline — in both the flit
+/// direction and the reverse credit direction.
 
 #include <deque>
 #include <memory>
@@ -30,7 +40,15 @@ struct NetworkConfig {
   RoutingAlgo routing = RoutingAlgo::XY;
   int link_latency = 1;  ///< cycles on inter-router links
 
+  /// Node→island assignment in row-major node order; empty means one
+  /// global island (ids must be contiguous 0..K-1; see vfi::IslandMap).
+  std::vector<int> island_of;
+  /// Synchronizer penalty on island-boundary links, in receiver-domain
+  /// cycles (applies to flits and returning credits alike).
+  int cdc_sync_cycles = 2;
+
   int num_nodes() const noexcept { return width * height; }
+  int num_islands() const noexcept;
 };
 
 class Network {
@@ -40,13 +58,45 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Advance one NoC clock cycle at master time `now`.
+  /// Advance one NoC clock cycle at master time `now`. Only valid for
+  /// single-island networks (throws std::logic_error otherwise); island
+  /// partitions are stepped per domain with `step_island`.
   void step(common::Picoseconds now);
 
-  std::uint64_t cycle() const noexcept { return cycle_; }
+  /// Advance island `island` by one cycle of its own clock at master time
+  /// `now`: tick its channels (including CDC fifos it reads from), then
+  /// run the router/NI phases of its member nodes. When several islands
+  /// fire at the same instant, use the split form below instead.
+  void step_island(int island, common::Picoseconds now);
+
+  /// Split form for coincident edges: tick *every* fired island first,
+  /// then run every fired island's phases. Ticking before any phases
+  /// guarantees a CDC fifo's reader-side tick at instant t never counts
+  /// towards the synchronizer delay of an item pushed at that same
+  /// instant — otherwise a crossing from an island stepped earlier in the
+  /// same instant would deliver one receiver cycle early (zero link
+  /// latency at cdc_sync_cycles=0).
+  void tick_island(int island);
+  void run_island_phases(int island, common::Picoseconds now);
+
+  std::uint64_t cycle() const noexcept { return island_cycles_[0]; }
   const NetworkConfig& config() const noexcept { return cfg_; }
   const MeshTopology& topology() const noexcept { return topo_; }
   int num_nodes() const noexcept { return topo_.num_nodes(); }
+
+  // --- island structure ---
+  int num_islands() const noexcept { return static_cast<int>(islands_.size()); }
+  int island_of(NodeId node) const { return island_of_.at(static_cast<std::size_t>(node)); }
+  /// Ascending node ids of one island.
+  const std::vector<NodeId>& island_members(int island) const {
+    return islands_.at(static_cast<std::size_t>(island)).members;
+  }
+  /// Cycles island `island` has executed (its local clock count).
+  std::uint64_t island_cycles(int island) const {
+    return island_cycles_.at(static_cast<std::size_t>(island));
+  }
+  /// Directed inter-router links that cross an island boundary.
+  int num_boundary_links() const noexcept { return num_boundary_links_; }
 
   NetworkInterface& ni(NodeId node) { return *nis_.at(static_cast<std::size_t>(node)); }
   const NetworkInterface& ni(NodeId node) const {
@@ -61,7 +111,7 @@ class Network {
   /// every packet entering any source queue — the trace-recording hook.
   void set_injection_observer(InjectionObserver observer);
 
-  // --- aggregate measurement ---
+  // --- aggregate measurement (whole network) ---
   power::ActivityCounters total_activity() const;
   power::NetworkInventory inventory() const;
   std::uint64_t total_flits_generated() const;
@@ -78,9 +128,32 @@ class Network {
   /// Total flit capacity of all wired input buffers.
   std::uint64_t buffer_capacity_flits() const;
 
+  // --- per-island measurement (same definitions, island scope) ---
+  power::ActivityCounters island_activity(int island) const;
+  /// Inventory attributed to one island: its routers/NIs plus the directed
+  /// links *sourced* in it (so island inventories sum to `inventory()`).
+  power::NetworkInventory island_inventory(int island) const;
+  std::uint64_t island_flits_generated(int island) const;
+  std::uint64_t island_flits_injected(int island) const;
+  std::uint64_t island_flits_ejected(int island) const;
+  std::uint64_t island_source_backlog_flits(int island) const;
+  std::uint64_t island_buffered_flits_now(int island) const;
+  std::uint64_t island_buffer_capacity_flits(int island) const;
+
  private:
-  FlitChannel& new_flit_channel(int latency);
-  CreditChannel& new_credit_channel(int latency);
+  struct Island {
+    std::vector<NodeId> members;             ///< ascending node ids
+    std::vector<FlitChannel*> flit_lines;    ///< intra-island flit delay lines
+    std::vector<CreditChannel*> credit_lines;
+    std::vector<FlitCdcFifo*> cdc_flit_in;     ///< boundary flit fifos this island reads
+    std::vector<CreditCdcFifo*> cdc_credit_in; ///< boundary credit fifos this island reads
+    int links_sourced = 0;  ///< directed inter-router links driven by this island
+  };
+
+  FlitChannel& new_flit_channel(int latency, int island);
+  CreditChannel& new_credit_channel(int latency, int island);
+  FlitCdcFifo& new_cdc_flit_channel(int ready_delay, int reader_island);
+  CreditCdcFifo& new_cdc_credit_channel(int ready_delay, int reader_island);
 
   NetworkConfig cfg_;
   MeshTopology topo_;
@@ -89,9 +162,14 @@ class Network {
   // deques: stable element addresses across push_back during wiring
   std::deque<FlitChannel> flit_channels_;
   std::deque<CreditChannel> credit_channels_;
+  std::deque<FlitCdcFifo> cdc_flit_channels_;
+  std::deque<CreditCdcFifo> cdc_credit_channels_;
   std::vector<PacketRecord> delivered_;
   InjectionObserver injection_observer_;
-  std::uint64_t cycle_ = 0;
+  std::vector<int> island_of_;  ///< resolved node→island (size num_nodes)
+  std::vector<Island> islands_;
+  std::vector<std::uint64_t> island_cycles_;
+  int num_boundary_links_ = 0;
 };
 
 }  // namespace nocdvfs::noc

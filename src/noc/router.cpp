@@ -30,7 +30,7 @@ Router::Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg)
   }
 }
 
-void Router::connect_input(PortDir port, FlitChannel* flit_in, CreditChannel* credit_out) {
+void Router::connect_input(PortDir port, FlitPort* flit_in, CreditPort* credit_out) {
   auto& ip = in_[static_cast<std::size_t>(port_index(port))];
   NOCDVFS_ASSERT(ip.flit_in == nullptr, "input port wired twice");
   if (flit_in == nullptr || credit_out == nullptr) {
@@ -41,7 +41,7 @@ void Router::connect_input(PortDir port, FlitChannel* flit_in, CreditChannel* cr
   wired_in_.push_back(port_index(port));
 }
 
-void Router::connect_output(PortDir port, FlitChannel* flit_out, CreditChannel* credit_in) {
+void Router::connect_output(PortDir port, FlitPort* flit_out, CreditPort* credit_in) {
   auto& op = out_[static_cast<std::size_t>(port_index(port))];
   NOCDVFS_ASSERT(op.flit_out == nullptr, "output port wired twice");
   if (flit_out == nullptr || credit_in == nullptr) {

@@ -57,9 +57,9 @@ class Router {
   Router& operator=(Router&&) = delete;
 
   /// Wire one input port: incoming flits and the reverse credit channel.
-  void connect_input(PortDir port, FlitChannel* flit_in, CreditChannel* credit_out);
+  void connect_input(PortDir port, FlitPort* flit_in, CreditPort* credit_out);
   /// Wire one output port: outgoing flits and the incoming credit channel.
-  void connect_output(PortDir port, FlitChannel* flit_out, CreditChannel* credit_in);
+  void connect_output(PortDir port, FlitPort* flit_out, CreditPort* credit_in);
 
   /// Phase 1 of a network cycle: latch arriving credits and flits.
   void receive_phase();
@@ -94,8 +94,8 @@ class Router {
   };
   struct InputPort {
     std::vector<InputVc> vcs;
-    FlitChannel* flit_in = nullptr;
-    CreditChannel* credit_out = nullptr;
+    FlitPort* flit_in = nullptr;
+    CreditPort* credit_out = nullptr;
   };
   struct OutputVc {
     int credits = 0;
@@ -105,8 +105,8 @@ class Router {
   };
   struct OutputPort {
     std::vector<OutputVc> vcs;
-    FlitChannel* flit_out = nullptr;
-    CreditChannel* credit_in = nullptr;
+    FlitPort* flit_out = nullptr;
+    CreditPort* credit_in = nullptr;
     bool connected() const noexcept { return flit_out != nullptr; }
   };
 

@@ -92,7 +92,13 @@ struct PacketRecord {
   double delay_ns() const noexcept {
     return common::ns_from_ps(eject_time_ps - create_time_ps);
   }
-  std::uint64_t latency_cycles() const noexcept { return eject_noc_cycle - create_noc_cycle; }
+  /// Latency in NoC cycles. With voltage–frequency islands the creation
+  /// stamp counts the reference domain while ejection counts the
+  /// destination island's (possibly slower) clock, so the difference is
+  /// clamped at zero; `delay_ns` is the exact cross-domain measure.
+  std::uint64_t latency_cycles() const noexcept {
+    return eject_noc_cycle >= create_noc_cycle ? eject_noc_cycle - create_noc_cycle : 0;
+  }
 };
 
 }  // namespace nocdvfs::noc

@@ -1,6 +1,6 @@
 #include "sim/clock.hpp"
 
-#include <algorithm>
+#include <stdexcept>
 
 #include "common/assert.hpp"
 
@@ -8,38 +8,62 @@ namespace nocdvfs::sim {
 
 using common::Picoseconds;
 
-DualClock::DualClock(common::Hertz f_node, common::Hertz f_noc)
-    : f_node_(f_node),
-      f_noc_(f_noc),
-      node_period_(common::period_ps_from_hz(f_node)),
-      noc_period_(common::period_ps_from_hz(f_noc)) {
+MultiClock::MultiClock(common::Hertz f_node, const std::vector<common::Hertz>& f_noc)
+    : f_node_(f_node), node_period_(common::period_ps_from_hz(f_node)) {
+  if (f_noc.empty()) throw std::invalid_argument("MultiClock: at least one NoC domain");
+  domains_.reserve(f_noc.size());
+  for (const common::Hertz f : f_noc) {
+    Domain d;
+    d.f = f;
+    d.period = common::period_ps_from_hz(f);
+    d.next = d.period;
+    domains_.push_back(d);
+  }
   next_node_ = node_period_;
-  next_noc_ = noc_period_;
+  fired_.reserve(domains_.size());
 }
 
-DualClock::Edge DualClock::advance() {
-  const Picoseconds t = std::min(next_node_, next_noc_);
+MultiClock::Edge MultiClock::advance() {
+  Picoseconds t = next_node_;
+  for (const Domain& d : domains_) {
+    if (d.next < t) t = d.next;
+  }
   NOCDVFS_ASSERT(t > now_, "clock failed to advance");
   now_ = t;
+  fired_.clear();
   Edge edge;
   if (next_node_ == t) {
     edge.node = true;
     ++node_cycles_;
     next_node_ += node_period_;
   }
-  if (next_noc_ == t) {
-    edge.noc = true;
-    ++noc_cycles_;
-    next_noc_ += noc_period_;
+  for (int i = 0; i < static_cast<int>(domains_.size()); ++i) {
+    Domain& d = domains_[static_cast<std::size_t>(i)];
+    if (d.next == t) {
+      edge.noc_any = true;
+      ++d.cycles;
+      d.next += d.period;
+      fired_.push_back(i);
+    }
   }
   return edge;
 }
 
-void DualClock::set_noc_frequency(common::Hertz f) {
+void MultiClock::set_noc_frequency(int domain, common::Hertz f) {
   // The pending edge keeps its instant (the cycle in flight completes at
-  // the old rate); subsequent cycles use the new period.
-  noc_period_ = common::period_ps_from_hz(f);
-  f_noc_ = f;
+  // the old rate); subsequent cycles use the new period. Other domains'
+  // schedules are untouched.
+  Domain& d = domains_.at(static_cast<std::size_t>(domain));
+  d.period = common::period_ps_from_hz(f);
+  d.f = f;
+}
+
+DualClock::DualClock(common::Hertz f_node, common::Hertz f_noc)
+    : clock_(f_node, std::vector<common::Hertz>{f_noc}) {}
+
+DualClock::Edge DualClock::advance() {
+  const MultiClock::Edge e = clock_.advance();
+  return Edge{e.node, e.noc_any};
 }
 
 }  // namespace nocdvfs::sim

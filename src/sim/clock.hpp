@@ -1,23 +1,83 @@
 #pragma once
 
 /// \file clock.hpp
-/// Dual clock domains on a single integer-picosecond timeline — the
-/// decoupling of node clock and NoC clock that the paper added to BookSim.
+/// Clock domains on a single integer-picosecond timeline.
 ///
-/// The node domain is fixed; the NoC domain is retuned by the DVFS
-/// controller. `advance()` jumps to the next clock edge (possibly both
-/// domains at the same instant) and reports which domain(s) fired; the
-/// caller processes node-domain work (traffic generation, control updates)
-/// before the NoC cycle when both coincide.
+/// `MultiClock` generalizes the paper's dual-clock kernel to voltage–
+/// frequency islands: one fixed node domain (traffic generation, control
+/// updates) plus N independently retunable NoC domains, one per island.
+/// `advance()` jumps to the next clock edge — possibly several domains at
+/// the same instant — and reports which domains fired; coincident edges
+/// are reported together and the caller processes node-domain work before
+/// any NoC cycle at that instant, then the fired NoC domains in ascending
+/// island order.
 ///
-/// A frequency change leaves the already-scheduled NoC edge in place and
-/// applies the new period from the following edge — a glitch-free clock
-/// switch; the PLL relock time is assumed hidden, as in the paper.
+/// A frequency change leaves the already-scheduled edge of that domain in
+/// place and applies the new period from the following edge — a glitch-free
+/// clock switch per domain; the PLL relock time is assumed hidden, as in
+/// the paper. Retuning one domain never perturbs the edge schedule of any
+/// other domain.
+///
+/// `DualClock` — the paper's original node + single-NoC-domain kernel — is
+/// kept as a thin wrapper over a one-domain `MultiClock` with identical
+/// semantics (and identical integer arithmetic, so results are
+/// bit-preserved).
+
+#include <vector>
 
 #include "common/units.hpp"
 
 namespace nocdvfs::sim {
 
+class MultiClock {
+ public:
+  /// One retunable NoC domain per entry of `f_noc` (at least one).
+  MultiClock(common::Hertz f_node, const std::vector<common::Hertz>& f_noc);
+
+  struct Edge {
+    bool node = false;     ///< the node domain fired at this instant
+    bool noc_any = false;  ///< at least one NoC domain fired
+  };
+
+  /// Advance to the next edge instant. The NoC domains that fired are
+  /// listed (ascending) by `fired()` until the next advance().
+  Edge advance();
+
+  /// NoC domains that fired at the last advance(), ascending.
+  const std::vector<int>& fired() const noexcept { return fired_; }
+
+  common::Picoseconds now() const noexcept { return now_; }
+  std::uint64_t node_cycles() const noexcept { return node_cycles_; }
+  common::Hertz node_frequency() const noexcept { return f_node_; }
+
+  int num_noc_domains() const noexcept { return static_cast<int>(domains_.size()); }
+  std::uint64_t noc_cycles(int domain) const { return dom(domain).cycles; }
+  common::Hertz noc_frequency(int domain) const { return dom(domain).f; }
+  common::Picoseconds noc_period_ps(int domain) const { return dom(domain).period; }
+
+  /// Retune one NoC domain; takes effect after that domain's pending edge.
+  void set_noc_frequency(int domain, common::Hertz f);
+
+ private:
+  struct Domain {
+    common::Hertz f = 0.0;
+    common::Picoseconds period = 0;
+    common::Picoseconds next = 0;
+    std::uint64_t cycles = 0;
+  };
+
+  const Domain& dom(int domain) const { return domains_.at(static_cast<std::size_t>(domain)); }
+
+  common::Hertz f_node_;
+  common::Picoseconds node_period_;
+  std::vector<Domain> domains_;
+  common::Picoseconds now_ = 0;
+  common::Picoseconds next_node_ = 0;
+  std::uint64_t node_cycles_ = 0;
+  std::vector<int> fired_;
+};
+
+/// The paper's original kernel: node domain + one retunable NoC domain.
 class DualClock {
  public:
   DualClock(common::Hertz f_node, common::Hertz f_noc);
@@ -30,27 +90,19 @@ class DualClock {
   /// Advance to the next edge instant and report which domains fired.
   Edge advance();
 
-  common::Picoseconds now() const noexcept { return now_; }
-  std::uint64_t node_cycles() const noexcept { return node_cycles_; }
-  std::uint64_t noc_cycles() const noexcept { return noc_cycles_; }
+  common::Picoseconds now() const noexcept { return clock_.now(); }
+  std::uint64_t node_cycles() const noexcept { return clock_.node_cycles(); }
+  std::uint64_t noc_cycles() const noexcept { return clock_.noc_cycles(0); }
 
-  common::Hertz node_frequency() const noexcept { return f_node_; }
-  common::Hertz noc_frequency() const noexcept { return f_noc_; }
-  common::Picoseconds noc_period_ps() const noexcept { return noc_period_; }
+  common::Hertz node_frequency() const noexcept { return clock_.node_frequency(); }
+  common::Hertz noc_frequency() const noexcept { return clock_.noc_frequency(0); }
+  common::Picoseconds noc_period_ps() const noexcept { return clock_.noc_period_ps(0); }
 
   /// Retune the NoC domain; takes effect after the pending NoC edge.
-  void set_noc_frequency(common::Hertz f);
+  void set_noc_frequency(common::Hertz f) { clock_.set_noc_frequency(0, f); }
 
  private:
-  common::Hertz f_node_;
-  common::Hertz f_noc_;
-  common::Picoseconds node_period_;
-  common::Picoseconds noc_period_;
-  common::Picoseconds now_ = 0;
-  common::Picoseconds next_node_ = 0;
-  common::Picoseconds next_noc_ = 0;
-  std::uint64_t node_cycles_ = 0;
-  std::uint64_t noc_cycles_ = 0;
+  MultiClock clock_;
 };
 
 }  // namespace nocdvfs::sim

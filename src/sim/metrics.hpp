@@ -6,11 +6,13 @@
 /// diagnostics the harness uses (saturation flags, controller settling).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
 #include "dvfs/dvfs_manager.hpp"
 #include "power/power_model.hpp"
+#include "vfi/residency.hpp"
 
 namespace nocdvfs::sim {
 
@@ -21,6 +23,33 @@ struct WindowSample {
   double avg_delay_ns = 0.0;        ///< mean delay of packets ejected in the window
   std::uint64_t packets = 0;
   common::Hertz f_applied = 0.0;    ///< frequency in force after the update
+};
+
+/// Per-voltage-frequency-island slice of a run: each island has its own
+/// controller, (V, F) actuation history and energy attribution. A
+/// single-island (global) run has exactly one entry whose values coincide
+/// with the global fields of RunResult.
+struct IslandResult {
+  int island = 0;
+  int nodes = 0;              ///< routers/NIs in the island
+  std::string policy;         ///< controller name ("rmsd", "dmsd", ...)
+
+  /// Packets whose *destination* lies in this island (the receiving nodes
+  /// report delay, as in the paper's DMSD measurement path).
+  std::uint64_t packets_delivered = 0;
+  double avg_delay_ns = 0.0;
+
+  // --- DVFS actuation, this island's domain ---
+  double avg_frequency_hz = 0.0;  ///< time-weighted over the measurement
+  double avg_voltage = 0.0;
+  common::Hertz final_frequency_hz = 0.0;
+  std::vector<dvfs::VfTracePoint> vf_trace;      ///< full-run actuation trace
+  std::vector<vfi::FreqDwell> freq_residency;    ///< measurement-window dwell per VF level
+
+  // --- island-scope measurement ---
+  std::uint64_t measure_noc_cycles = 0;  ///< cycles of this island's clock
+  double avg_buffer_occupancy = 0.0;     ///< fraction of this island's capacity
+  power::PowerBreakdown power;           ///< island energies sum to RunResult::power
 };
 
 struct RunResult {
@@ -77,6 +106,12 @@ struct RunResult {
   /// Energy·delay product: total measurement energy × mean packet delay
   /// (joule·seconds) — the classic single-number efficiency/QoS trade-off.
   double energy_delay_product_js = 0.0;
+
+  // --- voltage–frequency islands ---
+  /// One entry per island (exactly one for the global single-domain
+  /// configuration). Global cycle-denominated metrics above are counted in
+  /// island 0's clock domain when several islands exist.
+  std::vector<IslandResult> islands;
 
   // --- diagnostics ---
   bool saturated = false;

@@ -6,11 +6,13 @@
 #include <stdexcept>
 
 #include "apps/app_graphs.hpp"
+#include "common/strings.hpp"
 #include "dvfs/dmsd.hpp"
 #include "dvfs/qbsd.hpp"
 #include "dvfs/rmsd.hpp"
 #include "trace/recording_traffic.hpp"
 #include "trace/trace_traffic.hpp"
+#include "vfi/island_map.hpp"
 
 namespace nocdvfs::sim {
 
@@ -170,6 +172,72 @@ std::unique_ptr<traffic::TrafficModel> make_traffic(const Scenario& s,
 
 }  // namespace
 
+namespace {
+
+/// "" when the per-island policy list fits the partition, else the error
+/// both the validator and the controller factory report.
+std::string island_policy_list_problem(const std::vector<std::string>& names,
+                                       const std::string& islands_name, int num_islands) {
+  if (names.empty() || static_cast<int>(names.size()) == num_islands) return "";
+  return "island_policies lists " + std::to_string(names.size()) + " policies but the '" +
+         islands_name + "' partition has " + std::to_string(num_islands) + " islands";
+}
+
+/// Mesh the run will actually use: an app workload pins its own dimensions.
+std::pair<int, int> effective_mesh_dims(const Scenario& s) {
+  if (s.workload == Scenario::Workload::App) {
+    const apps::TaskGraph graph = app_graph(s.app);
+    return {graph.mesh_width(), graph.mesh_height()};
+  }
+  return {s.network.width, s.network.height};
+}
+
+vfi::IslandMap build_island_map(const Scenario& s, int width, int height) {
+  return vfi::IslandMap::build(vfi::preset_from_string(s.islands), width, height,
+                               s.island_map);
+}
+
+std::vector<std::unique_ptr<dvfs::DvfsController>> make_island_controllers(
+    const Scenario& s, int num_islands) {
+  const std::vector<std::string> names = common::split_csv(s.island_policies);
+  if (const std::string problem = island_policy_list_problem(names, s.islands, num_islands);
+      !problem.empty()) {
+    throw std::invalid_argument(problem);
+  }
+  std::vector<std::unique_ptr<dvfs::DvfsController>> out;
+  out.reserve(static_cast<std::size_t>(num_islands));
+  for (int i = 0; i < num_islands; ++i) {
+    PolicyConfig pc = s.policy;
+    if (!names.empty()) pc.policy = policy_from_string(names[static_cast<std::size_t>(i)]);
+    out.push_back(make_controller(pc));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string island_config_problem(const Scenario& s) {
+  try {
+    if (s.cdc_sync_cycles < 0) return "cdc_sync_cycles must be >= 0";
+    const vfi::Preset preset = vfi::preset_from_string(s.islands);
+    if (preset != vfi::Preset::Custom && !s.island_map.empty()) {
+      return "island_map= is only read with islands=custom (got islands=" + s.islands + ")";
+    }
+    const auto [width, height] = effective_mesh_dims(s);
+    const vfi::IslandMap map = vfi::IslandMap::build(preset, width, height, s.island_map);
+    const std::vector<std::string> names = common::split_csv(s.island_policies);
+    if (const std::string problem =
+            island_policy_list_problem(names, s.islands, map.num_islands());
+        !problem.empty()) {
+      return problem;
+    }
+    for (const std::string& name : names) policy_from_string(name);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
 void Scenario::declare_keys(common::Config& c) { declare_keys(c, Scenario{}); }
 
 void Scenario::declare_keys(common::Config& c, const Scenario& d) {
@@ -191,6 +259,15 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
   c.declare_bool("trace_loop", d.trace_loop, "loop the trace when it ends");
   c.declare("record", d.record_path,
             "capture this run's injected packets to a .noctrace file");
+
+  c.declare("islands", d.islands,
+            "VF-island partition: global|rows|cols|quadrants|per_router|custom");
+  c.declare("island_map", d.island_map,
+            "node->island ids, comma-separated row-major (islands=custom)");
+  c.declare_int("cdc_sync_cycles", d.cdc_sync_cycles,
+                "synchronizer cycles on island-boundary links");
+  c.declare("island_policies", d.island_policies,
+            "per-island policy overrides, comma-separated (one per island)");
 
   c.declare_int("width", d.network.width, "mesh width");
   c.declare_int("height", d.network.height, "mesh height");
@@ -214,6 +291,8 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
   c.declare_int("vf_levels", d.vf_levels, "discrete V/F levels (0 = continuous)");
   c.declare_int("flit_bits", d.flit_bits, "flit width in bits");
   c.declare_int("seed", static_cast<std::int64_t>(d.seed), "random seed");
+  c.declare_int("vf_trace_max", static_cast<std::int64_t>(d.vf_trace_max),
+                "keep only the most recent N actuation-trace points (0 = unbounded)");
 
   c.declare_int("warmup", static_cast<std::int64_t>(d.phases.warmup_node_cycles),
                 "warmup node cycles");
@@ -243,6 +322,11 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.trace_loop = c.get_bool("trace_loop");
   s.record_path = c.get_string("record");
 
+  s.islands = c.get_string("islands");
+  s.island_map = c.get_string("island_map");
+  s.cdc_sync_cycles = static_cast<int>(c.get_int("cdc_sync_cycles"));
+  s.island_policies = c.get_string("island_policies");
+
   s.network.width = static_cast<int>(c.get_int("width"));
   s.network.height = static_cast<int>(c.get_int("height"));
   s.network.num_vcs = static_cast<int>(c.get_int("vcs"));
@@ -262,6 +346,7 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.vf_levels = static_cast<int>(c.get_int("vf_levels"));
   s.flit_bits = static_cast<int>(c.get_int("flit_bits"));
   s.seed = static_cast<std::uint64_t>(c.get_int("seed"));
+  s.vf_trace_max = static_cast<std::uint64_t>(c.get_int("vf_trace_max"));
 
   s.phases.warmup_node_cycles = static_cast<std::uint64_t>(c.get_int("warmup"));
   s.phases.measure_node_cycles = static_cast<std::uint64_t>(c.get_int("measure"));
@@ -271,11 +356,15 @@ Scenario Scenario::from_config(const common::Config& c) {
 }
 
 std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
+  const std::string problem = island_config_problem(s);
+  if (!problem.empty()) throw std::invalid_argument("Scenario: " + problem);
+
   SimulatorConfig sim_cfg;
   sim_cfg.network = s.network;
   sim_cfg.f_node = s.f_node;
   sim_cfg.control_period_node_cycles = s.control_period;
   sim_cfg.flit_bits = s.flit_bits;
+  sim_cfg.vf_trace_max = static_cast<std::size_t>(s.vf_trace_max);
 
   std::unique_ptr<traffic::TrafficModel> traffic_model = make_traffic(s, sim_cfg);
   if (!s.record_path.empty()) {
@@ -290,8 +379,18 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
         std::move(traffic_model),
         std::make_unique<trace::TraceWriter>(s.record_path, header));
   }
+
+  // Resolve the island partition against the mesh the run actually uses
+  // (an app workload re-pins sim_cfg.network above). A single-island
+  // partition keeps the empty assignment — the pre-VFI fast path.
+  const vfi::IslandMap map =
+      build_island_map(s, sim_cfg.network.width, sim_cfg.network.height);
+  if (map.num_islands() > 1) sim_cfg.network.island_of = map.assignment();
+  sim_cfg.network.cdc_sync_cycles = s.cdc_sync_cycles;
+
   return std::make_unique<Simulator>(sim_cfg, std::move(traffic_model),
-                                     make_controller(s.policy), make_curve(s.vf_levels));
+                                     make_island_controllers(s, map.num_islands()),
+                                     make_curve(s.vf_levels));
 }
 
 RunResult run(const Scenario& scenario) {

@@ -88,6 +88,17 @@ struct Scenario {
   /// `.noctrace` file (any workload; see trace/recording_traffic.hpp).
   std::string record_path;
 
+  // --- voltage–frequency islands (src/vfi/) ---
+  /// Partition preset: global|rows|cols|quadrants|per_router|custom. Each
+  /// island gets its own clock domain and DVFS controller instance;
+  /// island-boundary links pay `cdc_sync_cycles` of synchronizer latency.
+  std::string islands = "global";
+  std::string island_map;        ///< node→island ids, row-major (islands=custom)
+  int cdc_sync_cycles = 2;       ///< receiver-domain cycles per boundary crossing
+  /// Comma-separated per-island policy overrides ("rmsd,dmsd,..."); empty =
+  /// every island runs `policy`. Must have exactly one entry per island.
+  std::string island_policies;
+
   // --- platform ---
   noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
   int packet_size = 20;          ///< flits per packet
@@ -97,6 +108,9 @@ struct Scenario {
   int vf_levels = 0;  ///< 0 = continuous frequency tuning, else discrete levels
   int flit_bits = 128;
   std::uint64_t seed = 1;
+  /// Bound on each island's (t, F, V) actuation trace (most recent points
+  /// kept); 0 = unbounded.
+  std::uint64_t vf_trace_max = 0;
   RunPhases phases{};
 
   /// Register every scenario key on `c`, using `defaults` for the default
@@ -119,6 +133,14 @@ RunResult run(const Scenario& scenario);
 /// Build (but do not run) the simulator for a scenario — for callers that
 /// need to poke at the network or clock between phases.
 std::unique_ptr<Simulator> make_simulator(const Scenario& scenario);
+
+/// Validate the island-related scenario keys (preset name, custom map
+/// size/contiguity vs the *effective* mesh — an app workload pins its own
+/// dimensions — per-island policy list length, cdc_sync_cycles range).
+/// Returns an empty string when the configuration is runnable, else a
+/// human-readable description of the first problem. `make_simulator`
+/// throws it; `SweepRunner` prefixes it with the offending point/axis.
+std::string island_config_problem(const Scenario& scenario);
 
 /// Nominal mean offered load (flits/node-cycle/node). For app workloads
 /// this derives from the task-graph rate matrix at the scenario's speed

@@ -29,47 +29,106 @@ power::RouterGeometry geometry_from(const noc::NetworkConfig& net, int flit_bits
   return g;
 }
 
+std::vector<std::unique_ptr<dvfs::DvfsController>> checked_controllers(
+    std::vector<std::unique_ptr<dvfs::DvfsController>> controllers, int num_islands) {
+  if (static_cast<int>(controllers.size()) != num_islands) {
+    throw std::invalid_argument("Simulator: got " + std::to_string(controllers.size()) +
+                                " controllers for " + std::to_string(num_islands) +
+                                " islands (need exactly one per island)");
+  }
+  for (const auto& c : controllers) {
+    if (!c) throw std::invalid_argument("Simulator: null controller");
+  }
+  return controllers;
+}
+
+std::vector<common::Hertz> start_frequencies(int num_islands, common::Hertz f) {
+  return std::vector<common::Hertz>(static_cast<std::size_t>(num_islands), f);
+}
+
 }  // namespace
 
 Simulator::Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::TrafficModel> traffic,
                      std::unique_ptr<dvfs::DvfsController> controller, power::VfCurve curve)
+    : Simulator(cfg, std::move(traffic),
+                [&controller] {
+                  std::vector<std::unique_ptr<dvfs::DvfsController>> v;
+                  v.push_back(std::move(controller));
+                  return v;
+                }(),
+                std::move(curve)) {}
+
+Simulator::Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::TrafficModel> traffic,
+                     std::vector<std::unique_ptr<dvfs::DvfsController>> controllers,
+                     power::VfCurve curve)
     : cfg_(cfg),
       net_(cfg.network),
       traffic_(std::move(traffic)),
-      dvfs_(std::move(controller), std::move(curve), cfg.f_node,
-            cfg.control_period_node_cycles),
+      bank_(checked_controllers(std::move(controllers), cfg.network.num_islands()),
+            std::move(curve), cfg.f_node, cfg.control_period_node_cycles, cfg.vf_trace_max),
       energy_(geometry_from(cfg.network, cfg.flit_bits), cfg.energy_params),
-      clock_(cfg.f_node, dvfs_.f_max()) {
+      clock_(cfg.f_node, start_frequencies(cfg.network.num_islands(), bank_.f_start())) {
   if (!traffic_) throw std::invalid_argument("Simulator: null traffic model");
 }
 
 RunResult Simulator::run(const RunPhases& phases) {
-  const std::uint64_t period = dvfs_.control_period_node_cycles();
+  const std::uint64_t period = bank_.control_period_node_cycles();
   const std::uint64_t warmup_target = round_up_to_period(phases.warmup_node_cycles, period);
   const std::uint64_t max_warmup =
       std::max(round_up_to_period(phases.max_warmup_node_cycles, period), warmup_target);
   const std::uint64_t measure_span = round_up_to_period(phases.measure_node_cycles, period);
 
-  power::PowerAccumulator power_acc(energy_, net_.inventory());
+  const int n_islands = bank_.num_islands();
 
-  // --- controller window state ---
-  double window_delay_sum_ns = 0.0;
-  std::uint64_t window_packets = 0;
-  std::uint64_t window_start_gen = 0;
-  std::uint64_t window_start_inj = 0;
-  std::uint64_t window_start_noc_cycles = 0;
-  std::uint64_t window_occupancy_sum = 0;  ///< Σ buffered flits, one sample per NoC cycle
-  const double buffer_capacity = static_cast<double>(net_.buffer_capacity_flits());
+  // --- per-island run state ---
+  /// Control-window accumulators (reset at every control boundary).
+  struct IslandWindow {
+    double delay_sum_ns = 0.0;
+    std::uint64_t packets = 0;
+    std::uint64_t start_gen = 0;
+    std::uint64_t start_inj = 0;
+    std::uint64_t start_noc_cycles = 0;
+    std::uint64_t occupancy_sum = 0;  ///< Σ buffered flits, one sample per island cycle
+    double buffer_capacity = 0.0;
+    int nodes = 0;
+  };
+  /// Measurement-phase accumulators (opened at begin_measurement).
+  struct IslandMeasure {
+    std::uint64_t start_noc = 0;
+    std::uint64_t occupancy_sum = 0;
+    common::RunningStats delay_stats;
+    common::TimeWeightedAverage freq_avg;
+    common::TimeWeightedAverage volt_avg;
+    vfi::FreqResidency residency;
+  };
+  std::vector<IslandWindow> win(static_cast<std::size_t>(n_islands));
+  std::vector<IslandMeasure> meas(static_cast<std::size_t>(n_islands));
+  std::vector<power::PowerAccumulator> power_accs;
+  power_accs.reserve(static_cast<std::size_t>(n_islands));
+  for (int i = 0; i < n_islands; ++i) {
+    win[static_cast<std::size_t>(i)].buffer_capacity =
+        static_cast<double>(net_.island_buffer_capacity_flits(i));
+    win[static_cast<std::size_t>(i)].nodes =
+        static_cast<int>(net_.island_members(i).size());
+    power_accs.emplace_back(energy_, net_.island_inventory(i));
+  }
 
-  // --- settle detection ---
-  std::deque<double> recent_freqs;
-  auto settled = [&]() {
-    if (static_cast<int>(recent_freqs.size()) < phases.settle_windows) return false;
-    const auto [lo, hi] = std::minmax_element(recent_freqs.begin(), recent_freqs.end());
+  // --- settle detection (every island must settle) ---
+  std::vector<std::deque<double>> recent_freqs(static_cast<std::size_t>(n_islands));
+  auto island_settled = [&](int i) {
+    const auto& freqs = recent_freqs[static_cast<std::size_t>(i)];
+    if (static_cast<int>(freqs.size()) < phases.settle_windows) return false;
+    const auto [lo, hi] = std::minmax_element(freqs.begin(), freqs.end());
     return (*hi - *lo) <= phases.settle_tol * (*hi);
   };
+  auto settled = [&]() {
+    for (int i = 0; i < n_islands; ++i) {
+      if (!island_settled(i)) return false;
+    }
+    return true;
+  };
 
-  // --- measurement state ---
+  // --- global measurement state (as in the single-domain protocol) ---
   bool measuring = false;
   std::uint64_t measure_start_node = 0;
   std::uint64_t measure_start_noc = 0;
@@ -77,14 +136,11 @@ RunResult Simulator::run(const RunPhases& phases) {
   std::uint64_t measure_start_gen = 0;
   std::uint64_t measure_start_ej = 0;
   std::uint64_t measure_start_backlog = 0;
-  std::uint64_t measure_occupancy_sum = 0;
   common::RunningStats delay_stats;
   common::RunningStats latency_stats;
   common::RunningStats hops_stats;
   common::RunningStats class_delay_stats[2];
   common::Histogram delay_hist(0.0, 8000.0, 2000);
-  common::TimeWeightedAverage freq_avg;
-  common::TimeWeightedAverage volt_avg;
 
   RunResult result;
   result.offered_lambda = traffic_->offered_flits_per_node_cycle();
@@ -95,14 +151,19 @@ RunResult Simulator::run(const RunPhases& phases) {
     if (net_.delivered().empty()) return;
     for (const auto& rec : net_.delivered()) {
       const double d_ns = rec.delay_ns();
-      window_delay_sum_ns += d_ns;
-      ++window_packets;
+      // The receiving nodes report delay (the paper's DMSD measurement
+      // path), so a packet belongs to its destination's island.
+      const int isl = net_.island_of(rec.dst);
+      IslandWindow& w = win[static_cast<std::size_t>(isl)];
+      w.delay_sum_ns += d_ns;
+      ++w.packets;
       if (measuring) {
         delay_stats.add(d_ns);
         latency_stats.add(static_cast<double>(rec.latency_cycles()));
         hops_stats.add(static_cast<double>(rec.hops));
         delay_hist.add(d_ns);
         class_delay_stats[rec.traffic_class == 0 ? 0 : 1].add(d_ns);
+        meas[static_cast<std::size_t>(isl)].delay_stats.add(d_ns);
       }
       // Closed-loop workloads (request–reply) react to deliveries.
       traffic_->on_packet_delivered(rec, clock_.now());
@@ -110,74 +171,120 @@ RunResult Simulator::run(const RunPhases& phases) {
     net_.delivered().clear();
   };
 
-  auto do_control_update = [&]() {
+  auto do_control_update = [&](int i) {
+    IslandWindow& w = win[static_cast<std::size_t>(i)];
+    IslandMeasure& m_state = meas[static_cast<std::size_t>(i)];
     dvfs::WindowMeasurements m;
     m.window_node_cycles = period;
-    m.window_noc_cycles = clock_.noc_cycles() - window_start_noc_cycles;
-    const std::uint64_t gen = net_.total_flits_generated();
-    const std::uint64_t inj = net_.total_flits_injected();
-    m.lambda_node_offered = static_cast<double>(gen - window_start_gen) /
-                            (static_cast<double>(n_nodes) * static_cast<double>(period));
+    m.window_noc_cycles = clock_.noc_cycles(i) - w.start_noc_cycles;
+    const std::uint64_t gen = net_.island_flits_generated(i);
+    const std::uint64_t inj = net_.island_flits_injected(i);
+    m.lambda_node_offered = static_cast<double>(gen - w.start_gen) /
+                            (static_cast<double>(w.nodes) * static_cast<double>(period));
     m.lambda_noc_injected =
         m.window_noc_cycles > 0
-            ? static_cast<double>(inj - window_start_inj) /
-                  (static_cast<double>(n_nodes) * static_cast<double>(m.window_noc_cycles))
+            ? static_cast<double>(inj - w.start_inj) /
+                  (static_cast<double>(w.nodes) * static_cast<double>(m.window_noc_cycles))
             : 0.0;
-    m.packets_delivered = window_packets;
-    m.avg_delay_ns = window_packets > 0 ? window_delay_sum_ns / window_packets : 0.0;
+    m.packets_delivered = w.packets;
+    m.avg_delay_ns = w.packets > 0 ? w.delay_sum_ns / w.packets : 0.0;
     m.avg_buffer_occupancy =
         m.window_noc_cycles > 0
-            ? static_cast<double>(window_occupancy_sum) /
-                  (static_cast<double>(m.window_noc_cycles) * buffer_capacity)
+            ? static_cast<double>(w.occupancy_sum) /
+                  (static_cast<double>(m.window_noc_cycles) * w.buffer_capacity)
             : 0.0;
 
-    const common::Hertz before = dvfs_.current_frequency();
-    const common::Hertz applied = dvfs_.apply_update(clock_.now(), m);
+    const common::Hertz before = bank_.manager(i).current_frequency();
+    const common::Hertz applied = bank_.apply_update(i, clock_.now(), m);
     if (std::abs(applied - before) > 1e3) {
-      clock_.set_noc_frequency(applied);
+      clock_.set_noc_frequency(i, applied);
       if (measuring) {
-        power_acc.change_operating_point(clock_.now(), net_.total_activity(),
-                                         clock_.noc_cycles(), dvfs_.current_voltage(), applied);
-        freq_avg.set(common::seconds_from_ps(clock_.now()), applied);
-        volt_avg.set(common::seconds_from_ps(clock_.now()), dvfs_.current_voltage());
+        power_accs[static_cast<std::size_t>(i)].change_operating_point(
+            clock_.now(), net_.island_activity(i), clock_.noc_cycles(i),
+            bank_.manager(i).current_voltage(), applied);
+        m_state.freq_avg.set(common::seconds_from_ps(clock_.now()), applied);
+        m_state.volt_avg.set(common::seconds_from_ps(clock_.now()),
+                             bank_.manager(i).current_voltage());
+        m_state.residency.on_change(clock_.now(), applied);
       }
     }
-    recent_freqs.push_back(applied);
-    while (static_cast<int>(recent_freqs.size()) > phases.settle_windows) {
-      recent_freqs.pop_front();
-    }
-    result.window_trace.push_back(
-        {clock_.now(), m.avg_delay_ns, m.packets_delivered, applied});
+    auto& freqs = recent_freqs[static_cast<std::size_t>(i)];
+    freqs.push_back(applied);
+    while (static_cast<int>(freqs.size()) > phases.settle_windows) freqs.pop_front();
 
-    window_start_gen = gen;
-    window_start_inj = inj;
-    window_start_noc_cycles = clock_.noc_cycles();
-    window_delay_sum_ns = 0.0;
-    window_packets = 0;
-    window_occupancy_sum = 0;
+    w.start_gen = gen;
+    w.start_inj = inj;
+    w.start_noc_cycles = clock_.noc_cycles(i);
+    w.delay_sum_ns = 0.0;
+    w.packets = 0;
+    w.occupancy_sum = 0;
+    return m;
+  };
+
+  auto do_control_updates = [&]() {
+    if (n_islands == 1) {
+      const dvfs::WindowMeasurements m = do_control_update(0);
+      result.window_trace.push_back({clock_.now(), m.avg_delay_ns, m.packets_delivered,
+                                     bank_.manager(0).current_frequency()});
+      return;
+    }
+    double delay_sum = 0.0;
+    std::uint64_t packets = 0;
+    double freq_nodes = 0.0;
+    for (int i = 0; i < n_islands; ++i) {
+      // Capture the window sums before do_control_update resets them.
+      delay_sum += win[static_cast<std::size_t>(i)].delay_sum_ns;
+      packets += win[static_cast<std::size_t>(i)].packets;
+      do_control_update(i);
+      freq_nodes += bank_.manager(i).current_frequency() *
+                    static_cast<double>(win[static_cast<std::size_t>(i)].nodes);
+    }
+    WindowSample sample;
+    sample.t = clock_.now();
+    sample.packets = packets;
+    sample.avg_delay_ns = packets > 0 ? delay_sum / static_cast<double>(packets) : 0.0;
+    sample.f_applied = freq_nodes / static_cast<double>(n_nodes);
+    result.window_trace.push_back(sample);
   };
 
   auto begin_measurement = [&]() {
     measuring = true;
     measure_start_node = clock_.node_cycles();
-    measure_start_noc = clock_.noc_cycles();
+    measure_start_noc = clock_.noc_cycles(0);
     measure_start_ps = clock_.now();
     measure_start_gen = net_.total_flits_generated();
     measure_start_ej = net_.total_flits_ejected();
     measure_start_backlog = net_.total_source_backlog_flits();
-    power_acc.start(clock_.now(), net_.total_activity(), clock_.noc_cycles(),
-                    dvfs_.current_voltage(), dvfs_.current_frequency());
-    freq_avg.set(common::seconds_from_ps(clock_.now()), dvfs_.current_frequency());
-    volt_avg.set(common::seconds_from_ps(clock_.now()), dvfs_.current_voltage());
+    for (int i = 0; i < n_islands; ++i) {
+      IslandMeasure& m_state = meas[static_cast<std::size_t>(i)];
+      const common::Hertz f = bank_.manager(i).current_frequency();
+      const double v = bank_.manager(i).current_voltage();
+      power_accs[static_cast<std::size_t>(i)].start(clock_.now(), net_.island_activity(i),
+                                                    clock_.noc_cycles(i), v, f);
+      m_state.freq_avg.set(common::seconds_from_ps(clock_.now()), f);
+      m_state.volt_avg.set(common::seconds_from_ps(clock_.now()), v);
+      m_state.residency.begin(clock_.now(), f);
+      m_state.start_noc = clock_.noc_cycles(i);
+    }
     result.warmup_node_cycles_used = clock_.node_cycles();
     result.controller_settled = settled() || !phases.adaptive_warmup;
   };
 
   auto finalize = [&]() {
-    power_acc.stop(clock_.now(), net_.total_activity(), clock_.noc_cycles());
-    result.power = power_acc.breakdown();
+    const double t_end_s = common::seconds_from_ps(clock_.now());
+    for (int i = 0; i < n_islands; ++i) {
+      power_accs[static_cast<std::size_t>(i)].stop(clock_.now(), net_.island_activity(i),
+                                                   clock_.noc_cycles(i));
+      meas[static_cast<std::size_t>(i)].residency.end(clock_.now());
+    }
+    for (const auto& acc : power_accs) {
+      result.power.datapath_j += acc.breakdown().datapath_j;
+      result.power.clock_j += acc.breakdown().clock_j;
+      result.power.leakage_j += acc.breakdown().leakage_j;
+    }
+    result.power.elapsed_ps += power_accs.front().breakdown().elapsed_ps;
     result.measure_node_cycles = clock_.node_cycles() - measure_start_node;
-    result.measure_noc_cycles = clock_.noc_cycles() - measure_start_noc;
+    result.measure_noc_cycles = clock_.noc_cycles(0) - measure_start_noc;
     result.measure_duration_ps = clock_.now() - measure_start_ps;
 
     result.packets_delivered = delay_stats.count();
@@ -207,16 +314,41 @@ RunResult Simulator::run(const RunPhases& phases) {
             ? static_cast<double>(ej_delta) /
                   (static_cast<double>(n_nodes) * static_cast<double>(result.measure_noc_cycles))
             : 0.0;
-    result.avg_buffer_occupancy =
-        result.measure_noc_cycles > 0
-            ? static_cast<double>(measure_occupancy_sum) /
-                  (static_cast<double>(result.measure_noc_cycles) * buffer_capacity)
-            : 0.0;
-
-    result.avg_frequency_hz = freq_avg.average(common::seconds_from_ps(clock_.now()));
-    result.avg_voltage = volt_avg.average(common::seconds_from_ps(clock_.now()));
-    result.final_frequency_hz = dvfs_.current_frequency();
-    result.vf_trace = dvfs_.trace();
+    if (n_islands == 1) {
+      result.avg_buffer_occupancy =
+          result.measure_noc_cycles > 0
+              ? static_cast<double>(meas[0].occupancy_sum) /
+                    (static_cast<double>(result.measure_noc_cycles) * win[0].buffer_capacity)
+              : 0.0;
+      result.avg_frequency_hz = meas[0].freq_avg.average(t_end_s);
+      result.avg_voltage = meas[0].volt_avg.average(t_end_s);
+      result.final_frequency_hz = bank_.manager(0).current_frequency();
+      result.vf_trace = bank_.manager(0).trace();
+    } else {
+      // Cross-island summaries: occupancy weighted by sampled capacity,
+      // frequency/voltage weighted by island node count. Exact per-island
+      // values live in result.islands.
+      double occ_num = 0.0, occ_den = 0.0;
+      double f_num = 0.0, v_num = 0.0;
+      for (int i = 0; i < n_islands; ++i) {
+        const std::uint64_t cyc = clock_.noc_cycles(i) - meas[static_cast<std::size_t>(i)].start_noc;
+        occ_num += static_cast<double>(meas[static_cast<std::size_t>(i)].occupancy_sum);
+        occ_den += static_cast<double>(cyc) * win[static_cast<std::size_t>(i)].buffer_capacity;
+        const double nodes = static_cast<double>(win[static_cast<std::size_t>(i)].nodes);
+        f_num += meas[static_cast<std::size_t>(i)].freq_avg.average(t_end_s) * nodes;
+        v_num += meas[static_cast<std::size_t>(i)].volt_avg.average(t_end_s) * nodes;
+      }
+      result.avg_buffer_occupancy = occ_den > 0.0 ? occ_num / occ_den : 0.0;
+      result.avg_frequency_hz = f_num / static_cast<double>(n_nodes);
+      result.avg_voltage = v_num / static_cast<double>(n_nodes);
+      double f_final_nodes = 0.0;
+      for (int i = 0; i < n_islands; ++i) {
+        f_final_nodes += bank_.manager(i).current_frequency() *
+                         static_cast<double>(win[static_cast<std::size_t>(i)].nodes);
+      }
+      result.final_frequency_hz = f_final_nodes / static_cast<double>(n_nodes);
+      // No single global actuation trace exists; see result.islands[i].vf_trace.
+    }
 
     const double delivered_bits =
         static_cast<double>(ej_delta) * static_cast<double>(cfg_.flit_bits);
@@ -237,19 +369,43 @@ RunResult Simulator::run(const RunPhases& phases) {
     const bool delivery_saturated =
         gen_delta > 0 && static_cast<double>(ej_delta) < 0.95 * static_cast<double>(gen_delta);
     result.saturated = backlog_saturated || delivery_saturated;
+
+    result.islands.resize(static_cast<std::size_t>(n_islands));
+    for (int i = 0; i < n_islands; ++i) {
+      IslandResult& isl = result.islands[static_cast<std::size_t>(i)];
+      const IslandMeasure& m_state = meas[static_cast<std::size_t>(i)];
+      isl.island = i;
+      isl.nodes = win[static_cast<std::size_t>(i)].nodes;
+      isl.policy = bank_.manager(i).controller().name();
+      isl.packets_delivered = m_state.delay_stats.count();
+      isl.avg_delay_ns = m_state.delay_stats.mean();
+      isl.avg_frequency_hz = m_state.freq_avg.average(t_end_s);
+      isl.avg_voltage = m_state.volt_avg.average(t_end_s);
+      isl.final_frequency_hz = bank_.manager(i).current_frequency();
+      isl.vf_trace = bank_.manager(i).trace();
+      isl.freq_residency = m_state.residency.levels();
+      isl.measure_noc_cycles = clock_.noc_cycles(i) - m_state.start_noc;
+      isl.avg_buffer_occupancy =
+          isl.measure_noc_cycles > 0
+              ? static_cast<double>(m_state.occupancy_sum) /
+                    (static_cast<double>(isl.measure_noc_cycles) *
+                     win[static_cast<std::size_t>(i)].buffer_capacity)
+              : 0.0;
+      isl.power = power_accs[static_cast<std::size_t>(i)].breakdown();
+    }
   };
 
   std::uint64_t measure_end_node = 0;
   while (true) {
     const auto edge = clock_.advance();
     if (edge.node) {
-      traffic_->node_tick(clock_.now(), clock_.noc_cycles(), net_);
+      traffic_->node_tick(clock_.now(), clock_.noc_cycles(0), net_);
       if (clock_.node_cycles() % period == 0) {
         if (measuring && clock_.node_cycles() >= measure_end_node) {
           finalize();
           break;
         }
-        do_control_update();
+        do_control_updates();
         if (!measuring) {
           const std::uint64_t cycles = clock_.node_cycles();
           const bool warm = cycles >= warmup_target;
@@ -261,12 +417,17 @@ RunResult Simulator::run(const RunPhases& phases) {
         }
       }
     }
-    if (edge.noc) {
-      net_.step(clock_.now());
-      const std::uint64_t occ = net_.buffered_flits_now();
-      window_occupancy_sum += occ;
-      if (measuring) measure_occupancy_sum += occ;
-      process_delivered();
+    if (edge.noc_any) {
+      // Tick every fired island before any island's phases run, so a CDC
+      // push at this instant never sees the reader's same-instant tick.
+      for (const int d : clock_.fired()) net_.tick_island(d);
+      for (const int d : clock_.fired()) {
+        net_.run_island_phases(d, clock_.now());
+        const std::uint64_t occ = net_.island_buffered_flits_now(d);
+        win[static_cast<std::size_t>(d)].occupancy_sum += occ;
+        if (measuring) meas[static_cast<std::size_t>(d)].occupancy_sum += occ;
+        process_delivered();
+      }
     }
   }
   return result;

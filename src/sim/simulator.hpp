@@ -1,25 +1,32 @@
 #pragma once
 
 /// \file simulator.hpp
-/// Top-level simulation: composes the dual-clock kernel, the network, a
-/// traffic model, the DVFS manager and the power accumulator, and runs the
+/// Top-level simulation: composes the multi-clock kernel, the (possibly
+/// island-partitioned) network, a traffic model, the per-island DVFS
+/// control bank and the per-island power accumulators, and runs the
 /// two-phase (settle → measure) protocol every experiment uses.
 ///
 /// Phase protocol:
-///  1. *Warmup/settle* — traffic and the DVFS control loop run, statistics
-///     are discarded. With adaptive warmup the phase extends until the
-///     controller's applied frequency is stable across a few consecutive
+///  1. *Warmup/settle* — traffic and the DVFS control loops run, statistics
+///     are discarded. With adaptive warmup the phase extends until *every*
+///     island's applied frequency is stable across a few consecutive
 ///     windows (the PI loop of DMSD needs tens of windows to converge from
 ///     cold start), bounded by `max_warmup_node_cycles`.
-///  2. *Measure* — packet delays, throughput, activity and (V, F) segments
-///     accumulate; the window always starts and ends on control-period
-///     boundaries so power segments align with actuations.
+///  2. *Measure* — packet delays, throughput, activity and per-island
+///     (V, F) segments accumulate; the window always starts and ends on
+///     control-period boundaries so power segments align with actuations.
+///
+/// All islands share the control cadence (the period is defined in node
+/// cycles and the node clock is global): at each control boundary every
+/// island's controller runs, in ascending island order, on measurements
+/// gathered from that island alone.
 ///
 /// Saturation is flagged when the source backlog grows materially during
 /// the measurement or delivery falls short of generation — the conditions
 /// under which delay statistics stop converging.
 
 #include <memory>
+#include <vector>
 
 #include "dvfs/dvfs_manager.hpp"
 #include "noc/network.hpp"
@@ -29,15 +36,18 @@
 #include "sim/clock.hpp"
 #include "sim/metrics.hpp"
 #include "traffic/traffic_model.hpp"
+#include "vfi/island_dvfs.hpp"
 
 namespace nocdvfs::sim {
 
 struct SimulatorConfig {
-  noc::NetworkConfig network{};
+  noc::NetworkConfig network{};  ///< includes the island partition (island_of)
   common::Hertz f_node = 1e9;
   std::uint64_t control_period_node_cycles = 10000;
   int flit_bits = 128;
   power::EnergyParams energy_params{};
+  /// Bound on each island's (t, F, V) actuation trace; 0 = unbounded.
+  std::size_t vf_trace_max = 0;
 };
 
 struct RunPhases {
@@ -46,22 +56,31 @@ struct RunPhases {
   bool adaptive_warmup = true;
   std::uint64_t max_warmup_node_cycles = 800000;
   /// Relative spread of applied frequency across `settle_windows`
-  /// consecutive control windows below which the controller is "settled".
+  /// consecutive control windows below which a controller is "settled".
   double settle_tol = 0.02;
   int settle_windows = 4;
 };
 
 class Simulator {
  public:
+  /// Single-domain convenience (the paper's configuration): requires the
+  /// network config to describe exactly one island.
   Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::TrafficModel> traffic,
             std::unique_ptr<dvfs::DvfsController> controller, power::VfCurve curve);
+
+  /// Island-partitioned form: one controller per island, in island order.
+  Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::TrafficModel> traffic,
+            std::vector<std::unique_ptr<dvfs::DvfsController>> controllers,
+            power::VfCurve curve);
 
   RunResult run(const RunPhases& phases);
 
   noc::Network& network() noexcept { return net_; }
   const noc::Network& network() const noexcept { return net_; }
-  const dvfs::DvfsManager& dvfs_manager() const noexcept { return dvfs_; }
-  const DualClock& clock() const noexcept { return clock_; }
+  int num_islands() const noexcept { return bank_.num_islands(); }
+  const dvfs::DvfsManager& dvfs_manager() const noexcept { return bank_.manager(0); }
+  const dvfs::DvfsManager& dvfs_manager(int island) const { return bank_.manager(island); }
+  const MultiClock& clock() const noexcept { return clock_; }
   const SimulatorConfig& config() const noexcept { return cfg_; }
   const power::EnergyModel& energy_model() const noexcept { return energy_; }
 
@@ -69,9 +88,9 @@ class Simulator {
   SimulatorConfig cfg_;
   noc::Network net_;
   std::unique_ptr<traffic::TrafficModel> traffic_;
-  dvfs::DvfsManager dvfs_;
+  vfi::IslandControlBank bank_;
   power::EnergyModel energy_;
-  DualClock clock_;
+  MultiClock clock_;
 };
 
 }  // namespace nocdvfs::sim

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/table.hpp"
+#include "vfi/residency.hpp"
 
 namespace nocdvfs::sim {
 
@@ -76,6 +77,15 @@ SweepAxis SweepAxis::seeds(int count, std::uint64_t base_seed) {
   for (int i = 0; i < count; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
     axis.points.push_back({std::to_string(seed), [seed](Scenario& s) { s.seed = seed; }});
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::islands(const std::vector<std::string>& values) {
+  SweepAxis axis;
+  axis.name = "islands";
+  for (const std::string& v : values) {
+    axis.points.push_back({v, [v](Scenario& s) { s.islands = v; }});
   }
   return axis;
 }
@@ -167,10 +177,14 @@ void validate_points(const std::vector<SweepPoint>& points,
   }
   std::set<std::string> record_paths;
   for (const SweepPoint& p : points) {
-    const char* problem = nullptr;
+    std::string problem;
     std::string record;
     if (!p.scenario.record_path.empty()) record = normalized_path(p.scenario.record_path);
-    if (p.scenario.workload == Scenario::Workload::Custom && !p.scenario.traffic_factory) {
+    if (std::string island_problem = island_config_problem(p.scenario);
+        !island_problem.empty()) {
+      problem = std::move(island_problem);
+    } else if (p.scenario.workload == Scenario::Workload::Custom &&
+               !p.scenario.traffic_factory) {
       problem =
           "workload=custom but no traffic_factory is set (assign "
           "Scenario::traffic_factory, or install one per point via SweepAxis::custom)";
@@ -186,7 +200,7 @@ void validate_points(const std::vector<SweepPoint>& points,
           "a sweep point records to a .noctrace another point replays (the writer "
           "would truncate the file mid-sweep); use distinct paths";
     }
-    if (!problem) continue;
+    if (problem.empty()) continue;
     std::ostringstream os;
     os << "SweepRunner: cannot run sweep point #" << p.index;
     const std::string label = p.label(axes);
@@ -270,6 +284,27 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
+/// "i0=600MHz:0.250|1000MHz:0.750;i1=..." — one entry per island.
+std::string residency_cell(const RunResult& r) {
+  std::string out;
+  for (const IslandResult& isl : r.islands) {
+    if (!out.empty()) out += ';';
+    out += 'i' + std::to_string(isl.island) + '=' +
+           vfi::residency_to_string(isl.freq_residency, r.measure_duration_ps);
+  }
+  return out;
+}
+
+/// "i0=12.4;i1=..." — per-island average power in mW.
+std::string island_power_cell(const RunResult& r) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < r.islands.size(); ++i) {
+    if (i > 0) os << ';';
+    os << 'i' << r.islands[i].island << '=' << r.islands[i].power.average_power_mw();
+  }
+  return os.str();
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -294,12 +329,15 @@ void CsvResultSink::begin_sweep(const std::string& group,
   (void)axes;
   group_ = group;
   if (!header_written_) {
+    // New columns are appended (never inserted) so fixed-index consumers
+    // of the scenario/metric prefix keep working across versions.
     os_ << "group,index,point,workload,pattern,app,lambda,speed,policy,seed,"
            "control_period,vf_levels,avg_delay_ns,p50_delay_ns,p95_delay_ns,"
            "p99_delay_ns,avg_latency_cycles,avg_hops,avg_frequency_ghz,avg_voltage,"
            "power_mw,energy_per_bit_pj,energy_delay_product_js,"
            "delivered_flits_per_node_cycle,avg_buffer_occupancy,"
-           "packets_delivered,saturated,controller_settled,warmup_node_cycles_used\n";
+           "packets_delivered,saturated,controller_settled,warmup_node_cycles_used,"
+           "islands,num_islands,freq_residency,island_power_mw\n";
     header_written_ = true;
   }
 }
@@ -324,7 +362,9 @@ void CsvResultSink::on_result(const SweepRecord& record) {
       << ',' << r.delivered_flits_per_node_cycle << ','
       << r.avg_buffer_occupancy << ',' << r.packets_delivered << ','
       << (r.saturated ? 1 : 0) << ',' << (r.controller_settled ? 1 : 0) << ','
-      << r.warmup_node_cycles_used << '\n';
+      << r.warmup_node_cycles_used << ',' << csv_escape(s.islands) << ','
+      << r.islands.size() << ',' << csv_escape(residency_cell(r)) << ','
+      << csv_escape(island_power_cell(r)) << '\n';
   os_ << row.str();
 }
 
@@ -352,7 +392,9 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << "\",\"lambda\":" << s.lambda << ",\"speed\":" << s.speed << ",\"policy\":\""
      << to_string(s.policy.policy) << "\",\"seed\":" << s.seed
      << ",\"control_period\":" << s.control_period << ",\"vf_levels\":" << s.vf_levels
-     << ",\"width\":" << s.network.width << ",\"height\":" << s.network.height << "}"
+     << ",\"width\":" << s.network.width << ",\"height\":" << s.network.height
+     << ",\"islands\":\"" << json_escape(s.islands) << "\",\"cdc_sync_cycles\":"
+     << s.cdc_sync_cycles << "}"
      << ",\"result\":{\"avg_delay_ns\":" << r.avg_delay_ns
      << ",\"p99_delay_ns\":" << r.p99_delay_ns
      << ",\"avg_latency_cycles\":" << r.avg_latency_cycles
@@ -364,7 +406,38 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << ",\"avg_buffer_occupancy\":" << r.avg_buffer_occupancy
      << ",\"packets_delivered\":" << r.packets_delivered
      << ",\"saturated\":" << (r.saturated ? "true" : "false")
-     << ",\"controller_settled\":" << (r.controller_settled ? "true" : "false") << "}";
+     << ",\"controller_settled\":" << (r.controller_settled ? "true" : "false") << "}"
+     << ",\"islands\":[";
+  for (std::size_t i = 0; i < r.islands.size(); ++i) {
+    const IslandResult& isl = r.islands[i];
+    if (i > 0) os << ',';
+    os << "{\"island\":" << isl.island << ",\"nodes\":" << isl.nodes << ",\"policy\":\""
+       << json_escape(isl.policy) << "\",\"packets_delivered\":" << isl.packets_delivered
+       << ",\"avg_delay_ns\":" << isl.avg_delay_ns
+       << ",\"avg_frequency_ghz\":" << isl.avg_frequency_hz * 1e-9
+       << ",\"avg_voltage\":" << isl.avg_voltage
+       << ",\"final_frequency_ghz\":" << isl.final_frequency_hz * 1e-9
+       << ",\"measure_noc_cycles\":" << isl.measure_noc_cycles
+       << ",\"avg_buffer_occupancy\":" << isl.avg_buffer_occupancy
+       << ",\"power_mw\":" << isl.power.average_power_mw() << ",\"freq_residency\":[";
+    for (std::size_t l = 0; l < isl.freq_residency.size(); ++l) {
+      if (l > 0) os << ',';
+      os << "{\"f_hz\":" << isl.freq_residency[l].f_hz
+         << ",\"dwell_ps\":" << isl.freq_residency[l].dwell_ps << "}";
+    }
+    os << ']';
+    if (include_traces_) {
+      os << ",\"vf_trace\":[";
+      for (std::size_t p = 0; p < isl.vf_trace.size(); ++p) {
+        if (p > 0) os << ',';
+        os << "{\"t_ps\":" << isl.vf_trace[p].t << ",\"f_hz\":" << isl.vf_trace[p].f
+           << ",\"vdd\":" << isl.vf_trace[p].vdd << "}";
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << ']';
   if (include_traces_) {
     os << ",\"window_trace\":[";
     for (std::size_t i = 0; i < r.window_trace.size(); ++i) {

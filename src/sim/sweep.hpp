@@ -45,6 +45,8 @@ struct SweepAxis {
   static SweepAxis control_period(const std::vector<std::uint64_t>& values);
   static SweepAxis vf_levels(const std::vector<int>& values);
   static SweepAxis seeds(int count, std::uint64_t base_seed = 1);
+  /// VF-island layouts ("global", "quadrants", "per_router", ...).
+  static SweepAxis islands(const std::vector<std::string>& values);
 
   /// Arbitrary axis; each `apply` may change any scenario field, including
   /// swapping the traffic factory of a custom workload.

@@ -1,0 +1,21 @@
+#include "vfi/island_dvfs.hpp"
+
+#include <stdexcept>
+
+namespace nocdvfs::vfi {
+
+IslandControlBank::IslandControlBank(
+    std::vector<std::unique_ptr<dvfs::DvfsController>> controllers,
+    const power::VfCurve& curve, common::Hertz f_node,
+    std::uint64_t control_period_node_cycles, std::size_t vf_trace_max) {
+  if (controllers.empty()) {
+    throw std::invalid_argument("IslandControlBank: needs at least one controller");
+  }
+  managers_.reserve(controllers.size());
+  for (auto& controller : controllers) {
+    managers_.emplace_back(std::move(controller), curve, f_node, control_period_node_cycles);
+    managers_.back().set_trace_limit(vf_trace_max);
+  }
+}
+
+}  // namespace nocdvfs::vfi

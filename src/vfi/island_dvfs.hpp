@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file island_dvfs.hpp
+/// Distributed DVFS control: one `dvfs::DvfsManager` (policy + VF clamp +
+/// actuation trace) per voltage–frequency island.
+///
+/// The paper's DVFS-Ctrl block is a single global controller fed by
+/// network-wide measurements; over islands each controller instance sees
+/// only *its* island's `WindowMeasurements` — the transmitting nodes'
+/// rate reports stay local to the island (RMSD), while the delay reports
+/// arrive from the receiving nodes of the island, i.e. a delay signal may
+/// have crossed domains before it is measured (DMSD). All islands share
+/// the control cadence (the period is defined in node-clock cycles, and
+/// the node clock is global), so updates happen at the same instants in
+/// ascending island order.
+
+#include <memory>
+#include <vector>
+
+#include "dvfs/dvfs_manager.hpp"
+
+namespace nocdvfs::vfi {
+
+class IslandControlBank {
+ public:
+  /// One controller per island (the vector size defines the island count);
+  /// every island shares the VF curve, node frequency and control period.
+  /// `vf_trace_max` bounds each manager's actuation trace (0 = unbounded).
+  IslandControlBank(std::vector<std::unique_ptr<dvfs::DvfsController>> controllers,
+                    const power::VfCurve& curve, common::Hertz f_node,
+                    std::uint64_t control_period_node_cycles, std::size_t vf_trace_max = 0);
+
+  int num_islands() const noexcept { return static_cast<int>(managers_.size()); }
+  std::uint64_t control_period_node_cycles() const noexcept {
+    return managers_.front().control_period_node_cycles();
+  }
+
+  dvfs::DvfsManager& manager(int island) {
+    return managers_.at(static_cast<std::size_t>(island));
+  }
+  const dvfs::DvfsManager& manager(int island) const {
+    return managers_.at(static_cast<std::size_t>(island));
+  }
+
+  /// Run one control update on one island's manager; returns the clamped,
+  /// snapped frequency now in effect for that island.
+  common::Hertz apply_update(int island, common::Picoseconds now,
+                             const dvfs::WindowMeasurements& m) {
+    return manager(island).apply_update(now, m);
+  }
+
+  /// All islands start at the top of the shared range.
+  common::Hertz f_start() const noexcept { return managers_.front().f_max(); }
+
+ private:
+  std::vector<dvfs::DvfsManager> managers_;
+};
+
+}  // namespace nocdvfs::vfi

@@ -248,6 +248,36 @@ TEST(DvfsManager, ResetRestoresTopOfRange) {
   EXPECT_TRUE(mgr.trace().empty());
 }
 
+TEST(DvfsManager, TraceLimitKeepsMostRecentPoints) {
+  RmsdConfig rc;
+  rc.lambda_max = 0.4;
+  DvfsManager mgr(std::make_unique<RmsdController>(rc), power::VfCurve::fdsoi28(), 1e9, 10000);
+  mgr.set_trace_limit(3);
+  // Eight distinct operating points → eight actuations; only the last
+  // three survive, in order.
+  for (int i = 0; i < 8; ++i) {
+    mgr.apply_update(static_cast<common::Picoseconds>(1000 * (i + 1)),
+                     measurements(0.15 + 0.02 * i));
+  }
+  ASSERT_EQ(mgr.trace().size(), 3u);
+  EXPECT_EQ(mgr.trace()[0].t, 6000u);
+  EXPECT_EQ(mgr.trace()[1].t, 7000u);
+  EXPECT_EQ(mgr.trace()[2].t, 8000u);
+  // The newest point always matches the current operating point.
+  EXPECT_DOUBLE_EQ(mgr.trace().back().f, mgr.current_frequency());
+
+  // Lowering the limit on a full trace truncates from the front.
+  mgr.set_trace_limit(1);
+  ASSERT_EQ(mgr.trace().size(), 1u);
+  EXPECT_EQ(mgr.trace()[0].t, 8000u);
+
+  // Zero restores unbounded growth.
+  mgr.set_trace_limit(0);
+  mgr.apply_update(9000, measurements(0.05));
+  mgr.apply_update(10000, measurements(0.35));
+  EXPECT_EQ(mgr.trace().size(), 3u);
+}
+
 TEST(DvfsManager, ConstructionValidation) {
   EXPECT_THROW(DvfsManager(nullptr, power::VfCurve::fdsoi28(), 1e9, 10000),
                std::invalid_argument);
