@@ -22,6 +22,9 @@ using Hertz = double;
 
 inline constexpr double kPicosPerSecond = 1e12;
 
+/// Celsius ↔ kelvin offset, shared by the power and thermal planes.
+inline constexpr double kCelsiusToKelvinOffset = 273.15;
+
 /// Convert a frequency to the nearest integer clock period in picoseconds.
 /// Throws std::invalid_argument for non-positive or absurdly low frequencies
 /// (below 1 MHz the rounded period would exceed 10^6 ps — outside any DVFS

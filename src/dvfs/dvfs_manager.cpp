@@ -21,6 +21,11 @@ DvfsManager::DvfsManager(std::unique_ptr<DvfsController> controller, power::VfCu
 }
 
 common::Hertz DvfsManager::apply_update(common::Picoseconds now, const WindowMeasurements& m) {
+  return apply_update(now, m, 0.0);
+}
+
+common::Hertz DvfsManager::apply_update(common::Picoseconds now, const WindowMeasurements& m,
+                                        common::Hertz f_cap) {
   ControlContext ctx;
   ctx.now = now;
   ctx.f_node = f_node_;
@@ -29,7 +34,8 @@ common::Hertz DvfsManager::apply_update(common::Picoseconds now, const WindowMea
   ctx.f_current = f_current_;
 
   const common::Hertz requested = controller_->update(ctx, m);
-  const common::Hertz applied = curve_.snap_frequency(requested);
+  common::Hertz applied = curve_.snap_frequency(requested);
+  if (f_cap > 0.0 && applied > f_cap) applied = curve_.floor_frequency(f_cap);
   // 1 kHz dead-band: the VCO cannot resolve arbitrarily fine retunes, and
   // suppressing no-op changes keeps the power accumulator's segment list
   // (and the trace) proportional to real actuations.

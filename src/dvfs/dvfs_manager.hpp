@@ -44,6 +44,14 @@ class DvfsManager {
   /// in effect. Records a trace point when the operating point moved.
   common::Hertz apply_update(common::Picoseconds now, const WindowMeasurements& m);
 
+  /// Same, but with an actuation-side frequency cap (a thermal throttle):
+  /// when the snapped request exceeds `f_cap` the applied frequency is
+  /// floored down onto the curve at the cap — never rounded up, so a
+  /// throttled domain cannot run above the cap. `f_cap = 0` means no cap
+  /// and is arithmetically identical to the two-argument overload.
+  common::Hertz apply_update(common::Picoseconds now, const WindowMeasurements& m,
+                             common::Hertz f_cap);
+
   const DvfsController& controller() const noexcept { return *controller_; }
   DvfsController& controller() noexcept { return *controller_; }
   const power::VfCurve& curve() const noexcept { return curve_; }

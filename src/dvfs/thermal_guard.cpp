@@ -1,0 +1,29 @@
+#include "dvfs/thermal_guard.hpp"
+
+#include <stdexcept>
+
+namespace nocdvfs::dvfs {
+
+ThermalGuard::ThermalGuard(const ThermalGuardConfig& cfg, int num_islands) : cfg_(cfg) {
+  if (num_islands < 1) {
+    throw std::invalid_argument("ThermalGuard: need at least one island");
+  }
+  if (cfg.hysteresis_c < 0.0) {
+    throw std::invalid_argument("ThermalGuard: hysteresis must be >= 0");
+  }
+  throttled_.assign(static_cast<std::size_t>(num_islands), false);
+  engages_.assign(static_cast<std::size_t>(num_islands), 0);
+}
+
+bool ThermalGuard::observe(int island, double peak_temp_c) {
+  const std::size_t i = static_cast<std::size_t>(island);
+  if (throttled_.at(i)) {
+    if (peak_temp_c <= cfg_.temp_cap_c - cfg_.hysteresis_c) throttled_[i] = false;
+  } else if (peak_temp_c >= cfg_.temp_cap_c) {
+    throttled_[i] = true;
+    ++engages_[i];
+  }
+  return throttled_[i];
+}
+
+}  // namespace nocdvfs::dvfs

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file thermal_guard.hpp
+/// Thermally-aware actuation clamp: sits between any DVFS policy and the
+/// actuator and caps the requested (V, F) while a tile of the island is
+/// too hot. The guard is *policy-agnostic* — RMSD, DMSD and QBSD all pass
+/// through the same clamp, so the thermal comparison isolates how each
+/// sensing channel heats the die rather than how it reacts to heat.
+///
+/// The throttle is hysteretic, per island:
+///
+///   engage:  peak tile temperature >= temp_cap_c        → cap at f_throttle
+///   release: peak tile temperature <= temp_cap_c − hysteresis_c
+///
+/// so the clamp cannot chatter at the cap. `DvfsManager::apply_update`
+/// takes the cap as an optional argument and floors the (snapped)
+/// frequency down onto the VF curve, which also lowers the supply voltage
+/// — throttling cuts dynamic *and* leakage power, giving the loop its
+/// negative feedback.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nocdvfs::dvfs {
+
+struct ThermalGuardConfig {
+  double temp_cap_c = 85.0;    ///< engage threshold (peak tile temperature)
+  /// Release at temp_cap_c − hysteresis_c. Keep this small relative to the
+  /// die's temperature swing: a release point below the coolest reachable
+  /// temperature latches the throttle on permanently.
+  double hysteresis_c = 2.0;
+  /// Frequency cap while throttled; 0 = the VF curve's f_min (resolved by
+  /// the caller, which owns the curve).
+  common::Hertz f_throttle = 0.0;
+};
+
+class ThermalGuard {
+ public:
+  /// Throws std::invalid_argument for a non-positive island count or a
+  /// negative hysteresis.
+  ThermalGuard(const ThermalGuardConfig& cfg, int num_islands);
+
+  const ThermalGuardConfig& config() const noexcept { return cfg_; }
+  int num_islands() const noexcept { return static_cast<int>(throttled_.size()); }
+
+  /// Feed one island's current peak tile temperature; updates the
+  /// hysteretic state and returns it (true = throttled).
+  bool observe(int island, double peak_temp_c);
+
+  bool throttled(int island) const { return throttled_.at(static_cast<std::size_t>(island)); }
+  /// Number of distinct engagements (off → on transitions) so far.
+  std::uint64_t engage_count(int island) const {
+    return engages_.at(static_cast<std::size_t>(island));
+  }
+
+ private:
+  ThermalGuardConfig cfg_;
+  std::vector<bool> throttled_;
+  std::vector<std::uint64_t> engages_;
+};
+
+}  // namespace nocdvfs::dvfs

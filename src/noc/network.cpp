@@ -194,6 +194,19 @@ power::ActivityCounters Network::island_activity(int island) const {
   return total;
 }
 
+power::ActivityCounters Network::node_activity(NodeId node) const {
+  power::ActivityCounters total = routers_.at(static_cast<std::size_t>(node))->activity();
+  total += nis_.at(static_cast<std::size_t>(node))->activity();
+  return total;
+}
+
+power::TileInventory Network::node_inventory(NodeId node) const {
+  power::TileInventory inv;
+  inv.links_sourced = topo_.num_neighbors(node);
+  inv.local_links = 2;
+  return inv;
+}
+
 power::NetworkInventory Network::island_inventory(int island) const {
   const Island& isl = islands_.at(static_cast<std::size_t>(island));
   power::NetworkInventory inv;

@@ -128,6 +128,14 @@ class Network {
   /// Total flit capacity of all wired input buffers.
   std::uint64_t buffer_capacity_flits() const;
 
+  // --- per-tile measurement (the thermal subsystem's attribution scope) ---
+  /// Activity of one tile: its router plus its network interface.
+  power::ActivityCounters node_activity(NodeId node) const;
+  /// Structures attributed to one tile: the router, the directed
+  /// inter-router links it drives, and its two local channels. Summed over
+  /// an island's members this equals `island_inventory`.
+  power::TileInventory node_inventory(NodeId node) const;
+
   // --- per-island measurement (same definitions, island scope) ---
   power::ActivityCounters island_activity(int island) const;
   /// Inventory attributed to one island: its routers/NIs plus the directed

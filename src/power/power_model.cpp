@@ -71,6 +71,75 @@ void PowerAccumulator::reset() noexcept {
   running_ = false;
 }
 
+TilePowerAccumulator::TilePowerAccumulator(const EnergyModel& model,
+                                           std::vector<TileInventory> tiles)
+    : model_(&model), tiles_(std::move(tiles)) {
+  if (tiles_.empty()) {
+    throw std::invalid_argument("TilePowerAccumulator: need at least one tile");
+  }
+  for (const TileInventory& t : tiles_) {
+    if (t.links_sourced < 0 || t.local_links < 0) {
+      throw std::invalid_argument("TilePowerAccumulator: negative link counts");
+    }
+  }
+  const std::size_t n = tiles_.size();
+  breakdowns_.resize(n);
+  dynamic_w_.assign(n, 0.0);
+  leakage_nominal_w_.assign(n, 0.0);
+}
+
+void TilePowerAccumulator::start(Picoseconds now, const std::vector<ActivityCounters>& activity,
+                                 const std::vector<std::uint64_t>& cycles) {
+  NOCDVFS_ASSERT(!running_, "TilePowerAccumulator::start while running");
+  NOCDVFS_ASSERT(activity.size() == tiles_.size() && cycles.size() == tiles_.size(),
+                 "TilePowerAccumulator: snapshot size mismatch");
+  running_ = true;
+  last_ps_ = now;
+  last_activity_ = activity;
+  last_cycles_ = cycles;
+}
+
+void TilePowerAccumulator::sample(Picoseconds now, const std::vector<ActivityCounters>& activity,
+                                  const std::vector<std::uint64_t>& cycles,
+                                  const std::vector<double>& vdd, bool accumulate) {
+  NOCDVFS_ASSERT(running_, "TilePowerAccumulator::sample while stopped");
+  NOCDVFS_ASSERT(now >= last_ps_, "TilePowerAccumulator: time went backwards");
+  NOCDVFS_ASSERT(activity.size() == tiles_.size() && cycles.size() == tiles_.size() &&
+                     vdd.size() == tiles_.size(),
+                 "TilePowerAccumulator: snapshot size mismatch");
+  const Picoseconds dur = now - last_ps_;
+  const double dur_s = common::seconds_from_ps(dur);
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const ActivityCounters delta = activity[i].diff_since(last_activity_[i]);
+    const std::uint64_t cyc = cycles[i] - last_cycles_[i];
+    const double datapath_j = model_->event_energy_j(delta, vdd[i]);
+    const double clock_j = model_->clock_energy_j(cyc, vdd[i]);
+    dynamic_w_[i] = dur_s > 0.0 ? (datapath_j + clock_j) / dur_s : 0.0;
+    leakage_nominal_w_[i] =
+        model_->router_leakage_w(vdd[i]) +
+        model_->link_leakage_w(vdd[i]) *
+            (tiles_[i].links_sourced + 0.5 * tiles_[i].local_links);
+    if (accumulate) {
+      breakdowns_[i].datapath_j += datapath_j;
+      breakdowns_[i].clock_j += clock_j;
+      breakdowns_[i].elapsed_ps += dur;
+    }
+  }
+  last_ps_ = now;
+  last_activity_ = activity;
+  last_cycles_ = cycles;
+}
+
+void TilePowerAccumulator::add_leakage_j(const std::vector<double>& leak_j) {
+  NOCDVFS_ASSERT(leak_j.size() == tiles_.size(),
+                 "TilePowerAccumulator: leakage vector size mismatch");
+  for (std::size_t i = 0; i < tiles_.size(); ++i) breakdowns_[i].leakage_j += leak_j[i];
+}
+
+void TilePowerAccumulator::reset_energy() {
+  for (PowerBreakdown& b : breakdowns_) b = PowerBreakdown{};
+}
+
 PowerBreakdown integrate_constant_vf(const EnergyModel& model, const NetworkInventory& inventory,
                                      const ActivityCounters& activity_delta,
                                      std::uint64_t noc_cycles, Picoseconds duration, double vdd) {

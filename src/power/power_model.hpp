@@ -13,6 +13,7 @@
 ///   * leakage for the wall-clock duration of the segment.
 
 #include <cstdint>
+#include <vector>
 
 #include "common/units.hpp"
 #include "power/energy_model.hpp"
@@ -85,5 +86,76 @@ PowerBreakdown integrate_constant_vf(const EnergyModel& model, const NetworkInve
                                      const ActivityCounters& activity_delta,
                                      std::uint64_t noc_cycles, common::Picoseconds duration,
                                      double vdd);
+
+/// Power-consuming structures attributed to ONE router tile: the router,
+/// the directed inter-router links it drives, and its injection/ejection
+/// channels. Summed over an island's members this reproduces the island's
+/// `NetworkInventory`, so tile energies add up to the island energies.
+struct TileInventory {
+  int links_sourced = 0;  ///< directed inter-router links driven by this tile
+  int local_links = 2;    ///< injection + ejection channels
+};
+
+/// Per-tile attribution mode of the power plane — the thermal subsystem's
+/// measurement source. Where `PowerAccumulator` integrates one island-wide
+/// activity stream over (V, F) segments, this resolves the same energies
+/// to individual tiles: at every sampling boundary (a control-window edge,
+/// where the per-tile operating point is constant over the elapsed
+/// interval) it diffs per-tile activity/cycle snapshots and produces
+///
+///   * the tile's average *dynamic* power over the interval (datapath +
+///     clock) — the heat drive the RC thermal network integrates, and
+///   * the tile's *nominal leakage* power at the interval's voltage and
+///     the reference temperature — which the thermal model rescales by
+///     exp(k·(T − T_ref)) per integration step.
+///
+/// Datapath/clock energy accumulates here per tile; the temperature-
+/// resolved leakage energy is integrated by the thermal model (which knows
+/// the per-step temperatures) and injected back via `add_leakage_j`, so
+/// each tile's `PowerBreakdown` satisfies datapath+clock+leakage == total
+/// exactly, with leakage charged at the actual temperature.
+class TilePowerAccumulator {
+ public:
+  TilePowerAccumulator(const EnergyModel& model, std::vector<TileInventory> tiles);
+
+  int num_tiles() const noexcept { return static_cast<int>(tiles_.size()); }
+
+  /// Open sampling at `now`. `activity[i]` / `cycles[i]` are tile i's
+  /// running activity totals and its clock-domain cycle count.
+  void start(common::Picoseconds now, const std::vector<ActivityCounters>& activity,
+             const std::vector<std::uint64_t>& cycles);
+
+  /// Close the interval [last boundary, now] — constant per-tile (V, F)
+  /// over it — and refresh the drive vectors. When `accumulate` is set the
+  /// interval's datapath/clock energies are charged to the per-tile
+  /// breakdowns (the measurement window); warmup intervals only produce
+  /// drives.
+  void sample(common::Picoseconds now, const std::vector<ActivityCounters>& activity,
+              const std::vector<std::uint64_t>& cycles, const std::vector<double>& vdd,
+              bool accumulate);
+
+  /// Drives of the most recently closed interval, one entry per tile.
+  const std::vector<double>& dynamic_w() const noexcept { return dynamic_w_; }
+  const std::vector<double>& leakage_nominal_w() const noexcept { return leakage_nominal_w_; }
+
+  /// Charge externally integrated (temperature-resolved) leakage energy.
+  void add_leakage_j(const std::vector<double>& leak_j);
+
+  /// Zero the accumulated per-tile energies (measurement-window start).
+  void reset_energy();
+
+  const std::vector<PowerBreakdown>& tiles() const noexcept { return breakdowns_; }
+
+ private:
+  const EnergyModel* model_;
+  std::vector<TileInventory> tiles_;
+  std::vector<PowerBreakdown> breakdowns_;
+  std::vector<double> dynamic_w_;
+  std::vector<double> leakage_nominal_w_;
+  std::vector<ActivityCounters> last_activity_;
+  std::vector<std::uint64_t> last_cycles_;
+  common::Picoseconds last_ps_ = 0;
+  bool running_ = false;
+};
 
 }  // namespace nocdvfs::power

@@ -92,6 +92,16 @@ VfCurve VfCurve::quantized(std::size_t levels) const {
   return copy;
 }
 
+Hertz VfCurve::floor_frequency(Hertz f) const noexcept {
+  if (levels_.empty()) return clamp_frequency(f);
+  const Hertz clamped = clamp_frequency(f);
+  // Largest level <= the clamped request (1 Hz slack mirrors snap_frequency
+  // so an exact level maps to itself).
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), clamped + 1.0 /*Hz slack*/);
+  NOCDVFS_ASSERT(it != levels_.begin(), "floor_frequency: clamped value below bottom level");
+  return *(it - 1);
+}
+
 Hertz VfCurve::snap_frequency(Hertz f) const noexcept {
   if (levels_.empty()) return clamp_frequency(f);
   const Hertz clamped = clamp_frequency(f);

@@ -62,6 +62,11 @@ class VfCurve {
   /// otherwise.
   common::Hertz snap_frequency(common::Hertz f) const noexcept;
 
+  /// Round `f` *down* to the nearest discrete level if quantized (clamp
+  /// otherwise) — the direction a thermal throttle needs: the floored
+  /// frequency must be <= the cap, never above it.
+  common::Hertz floor_frequency(common::Hertz f) const noexcept;
+
   bool is_quantized() const noexcept { return !levels_.empty(); }
   const std::vector<common::Hertz>& levels() const noexcept { return levels_; }
   const std::vector<VfPoint>& points() const noexcept { return points_; }

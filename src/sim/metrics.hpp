@@ -50,6 +50,36 @@ struct IslandResult {
   std::uint64_t measure_noc_cycles = 0;  ///< cycles of this island's clock
   double avg_buffer_occupancy = 0.0;     ///< fraction of this island's capacity
   power::PowerBreakdown power;           ///< island energies sum to RunResult::power
+
+  // --- thermal (zero unless the run had thermal= enabled) ---
+  double peak_temp_c = 0.0;          ///< max tile temperature over the measurement
+  double throttle_residency = 0.0;   ///< fraction of measurement time throttled
+  std::uint64_t throttle_events = 0; ///< distinct throttle engagements (whole run)
+};
+
+/// Thermal slice of a run — empty/zero when `thermal=` is off (the
+/// default), so the off-path result is bit-identical to a build without
+/// the subsystem. Temperatures are sampled inside the RC integration, so
+/// peaks include intra-window excursions.
+struct ThermalResult {
+  bool enabled = false;
+  double peak_temp_c = 0.0;   ///< max over tiles and time (measurement window)
+  double mean_temp_c = 0.0;   ///< time-weighted mean of the tile-mean temperature
+  double final_peak_temp_c = 0.0;  ///< hottest tile at measurement end
+  double final_mean_temp_c = 0.0;  ///< tile mean at measurement end
+  std::vector<double> tile_peak_temp_c;  ///< per-tile max over the measurement
+
+  /// Node-weighted mean of the per-island throttle residencies.
+  double throttle_residency = 0.0;
+  std::uint64_t throttle_events = 0;  ///< engagements across all islands, whole run
+
+  /// Temperature-resolved leakage split: `leakage_j` is the measured
+  /// leakage energy at the actual tile temperatures (and equals
+  /// RunResult::power.leakage_j); `leakage_ref_j` is what the
+  /// temperature-blind model would have charged at the reference
+  /// temperature. The difference is the self-heating excess.
+  double leakage_j = 0.0;
+  double leakage_ref_j = 0.0;
 };
 
 struct RunResult {
@@ -93,11 +123,17 @@ struct RunResult {
   double avg_frequency_hz = 0.0;  ///< time-weighted over the measurement
   double avg_voltage = 0.0;       ///< time-weighted over the measurement
   common::Hertz final_frequency_hz = 0.0;
-  std::vector<dvfs::VfTracePoint> vf_trace;  ///< full run actuation trace
+  /// Full-run actuation trace. Multi-island convention: this is *island
+  /// 0's* trace (the domain global cycle-denominated metrics are counted
+  /// in); every island's own trace lives in `islands[i].vf_trace`.
+  std::vector<dvfs::VfTracePoint> vf_trace;
   std::vector<WindowSample> window_trace;    ///< one sample per control window
 
   // --- power ---
   power::PowerBreakdown power;
+
+  // --- thermal (thermal= runs only; see ThermalResult) ---
+  ThermalResult thermal;
 
   // --- derived efficiency metrics ---
   /// Total NoC energy per delivered payload bit over the measurement

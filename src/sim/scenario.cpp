@@ -214,6 +214,19 @@ std::vector<std::unique_ptr<dvfs::DvfsController>> make_island_controllers(
   return out;
 }
 
+thermal::ThermalParams thermal_params_from(const Scenario& s) {
+  thermal::ThermalParams p;
+  p.ambient_c = s.temp_ambient_c;
+  p.rc_vertical_k_per_w = s.rc_vertical;
+  p.rc_lateral_k_per_w = s.rc_lateral;
+  p.leak_temp_coeff_per_k = s.leak_temp_coeff;
+  return p;
+}
+
+common::Picoseconds thermal_step_ps_from(const Scenario& s) {
+  return static_cast<common::Picoseconds>(s.thermal_step_ns * 1000.0 + 0.5);
+}
+
 }  // namespace
 
 std::string island_config_problem(const Scenario& s) {
@@ -232,6 +245,46 @@ std::string island_config_problem(const Scenario& s) {
       return problem;
     }
     for (const std::string& name : names) policy_from_string(name);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string thermal_config_problem(const Scenario& s) {
+  if (!s.thermal) return "";  // keys are inert with thermal=off
+  std::ostringstream os;
+  if (!(s.thermal_step_ns > 0.0)) return "thermal_step_ns must be > 0";
+  if (!(s.rc_vertical > 0.0)) return "rc_vertical must be > 0 (K/W)";
+  if (!(s.rc_lateral > 0.0)) return "rc_lateral must be > 0 (K/W)";
+  if (s.leak_temp_coeff < 0.0) return "leak_temp_coeff must be >= 0 (1/K)";
+  if (s.temp_hysteresis_c < 0.0) return "temp_hysteresis_c must be >= 0";
+  if (!(s.temp_cap_c > s.temp_ambient_c)) {
+    os << "temp_cap_c (" << s.temp_cap_c << ") must exceed temp_ambient_c ("
+       << s.temp_ambient_c << ")";
+    return os.str();
+  }
+  if (!(s.temp_cap_c - s.temp_hysteresis_c > s.temp_ambient_c)) {
+    // Tiles can never cool below ambient, so a release point at or below
+    // it would latch the throttle on permanently after one engagement.
+    os << "temp_cap_c - temp_hysteresis_c (" << s.temp_cap_c - s.temp_hysteresis_c
+       << ") must exceed temp_ambient_c (" << s.temp_ambient_c
+       << "): the release point is unreachable and the throttle would latch on";
+    return os.str();
+  }
+  try {
+    const auto [width, height] = effective_mesh_dims(s);
+    const double bound_s =
+        thermal::ThermalModel::stability_bound_s(width, height, thermal_params_from(s));
+    const double step_s =
+        static_cast<double>(thermal_step_ps_from(s)) / common::kPicosPerSecond;
+    if (step_s > bound_s) {
+      os << "thermal_step_ns=" << s.thermal_step_ns
+         << " exceeds the explicit-Euler stability bound of " << bound_s * 1e9
+         << " ns for the " << width << "x" << height
+         << " mesh (lower the step or raise the RC constants)";
+      return os.str();
+    }
   } catch (const std::exception& e) {
     return e.what();
   }
@@ -259,6 +312,20 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
   c.declare_bool("trace_loop", d.trace_loop, "loop the trace when it ends");
   c.declare("record", d.record_path,
             "capture this run's injected packets to a .noctrace file");
+
+  c.declare_bool("thermal", d.thermal,
+                 "enable the RC thermal model, T-dependent leakage and throttling");
+  c.declare_double("thermal_step_ns", d.thermal_step_ns,
+                   "RC integration step in ns (explicit Euler)");
+  c.declare_double("temp_ambient_c", d.temp_ambient_c, "ambient sink temperature");
+  c.declare_double("temp_cap_c", d.temp_cap_c,
+                   "throttle engages at this peak tile temperature");
+  c.declare_double("temp_hysteresis_c", d.temp_hysteresis_c,
+                   "throttle releases at temp_cap_c - hysteresis");
+  c.declare_double("rc_vertical", d.rc_vertical, "tile->spreader resistance in K/W");
+  c.declare_double("rc_lateral", d.rc_lateral, "tile<->neighbor-tile resistance in K/W");
+  c.declare_double("leak_temp_coeff", d.leak_temp_coeff,
+                   "leakage-temperature coefficient in 1/K (exp(k*(T-Tref)))");
 
   c.declare("islands", d.islands,
             "VF-island partition: global|rows|cols|quadrants|per_router|custom");
@@ -322,6 +389,15 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.trace_loop = c.get_bool("trace_loop");
   s.record_path = c.get_string("record");
 
+  s.thermal = c.get_bool("thermal");
+  s.thermal_step_ns = c.get_double("thermal_step_ns");
+  s.temp_ambient_c = c.get_double("temp_ambient_c");
+  s.temp_cap_c = c.get_double("temp_cap_c");
+  s.temp_hysteresis_c = c.get_double("temp_hysteresis_c");
+  s.rc_vertical = c.get_double("rc_vertical");
+  s.rc_lateral = c.get_double("rc_lateral");
+  s.leak_temp_coeff = c.get_double("leak_temp_coeff");
+
   s.islands = c.get_string("islands");
   s.island_map = c.get_string("island_map");
   s.cdc_sync_cycles = static_cast<int>(c.get_int("cdc_sync_cycles"));
@@ -358,6 +434,10 @@ Scenario Scenario::from_config(const common::Config& c) {
 std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   const std::string problem = island_config_problem(s);
   if (!problem.empty()) throw std::invalid_argument("Scenario: " + problem);
+  const std::string thermal_problem = thermal_config_problem(s);
+  if (!thermal_problem.empty()) {
+    throw std::invalid_argument("Scenario: " + thermal_problem);
+  }
 
   SimulatorConfig sim_cfg;
   sim_cfg.network = s.network;
@@ -365,6 +445,16 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   sim_cfg.control_period_node_cycles = s.control_period;
   sim_cfg.flit_bits = s.flit_bits;
   sim_cfg.vf_trace_max = static_cast<std::size_t>(s.vf_trace_max);
+  if (s.thermal) {
+    sim_cfg.thermal.enabled = true;
+    sim_cfg.thermal.params = thermal_params_from(s);
+    sim_cfg.thermal.step_ps = thermal_step_ps_from(s);
+    sim_cfg.thermal.guard.temp_cap_c = s.temp_cap_c;
+    sim_cfg.thermal.guard.hysteresis_c = s.temp_hysteresis_c;
+    // Keep the energy model's Arrhenius factor in lockstep with the RC
+    // integration so leakage_scale(vdd, temp) matches the charged energy.
+    sim_cfg.energy_params.leak_temp_coeff_per_k = s.leak_temp_coeff;
+  }
 
   std::unique_ptr<traffic::TrafficModel> traffic_model = make_traffic(s, sim_cfg);
   if (!s.record_path.empty()) {

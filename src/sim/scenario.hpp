@@ -99,6 +99,19 @@ struct Scenario {
   /// every island runs `policy`. Must have exactly one entry per island.
   std::string island_policies;
 
+  // --- thermal model & throttling (src/thermal/, dvfs/thermal_guard.hpp) ---
+  /// Enable the RC thermal network, temperature-dependent leakage and the
+  /// hysteretic thermal throttle. Off (the default) reproduces the
+  /// temperature-blind simulator bit-identically.
+  bool thermal = false;
+  double thermal_step_ns = 1000.0;  ///< RC integration step (explicit Euler)
+  double temp_ambient_c = 45.0;     ///< ambient / package sink temperature
+  double temp_cap_c = 85.0;         ///< throttle engages at this peak tile temp
+  double temp_hysteresis_c = 2.0;   ///< throttle releases at cap − hysteresis
+  double rc_vertical = 3000.0;      ///< tile → heat-spreader resistance [K/W]
+  double rc_lateral = 6000.0;       ///< tile ↔ neighbour-tile resistance [K/W]
+  double leak_temp_coeff = 0.04;    ///< leakage ∝ exp(coeff·(T − T_ref)) [1/K]
+
   // --- platform ---
   noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
   int packet_size = 20;          ///< flits per packet
@@ -141,6 +154,14 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& scenario);
 /// human-readable description of the first problem. `make_simulator`
 /// throws it; `SweepRunner` prefixes it with the offending point/axis.
 std::string island_config_problem(const Scenario& scenario);
+
+/// Validate the thermal scenario keys when `thermal=` is on (step vs the
+/// explicit-Euler stability bound for the effective mesh, cap vs ambient,
+/// RC/coefficient ranges). Returns an empty string when runnable, else a
+/// human-readable description of the first problem. With `thermal=off`
+/// the keys are inert and never rejected. `make_simulator` throws it;
+/// `SweepRunner` prefixes it with the offending point/axis.
+std::string thermal_config_problem(const Scenario& scenario);
 
 /// Nominal mean offered load (flits/node-cycle/node). For app workloads
 /// this derives from the task-graph rate matrix at the scenario's speed

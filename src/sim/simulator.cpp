@@ -101,6 +101,9 @@ RunResult Simulator::run(const RunPhases& phases) {
     common::TimeWeightedAverage volt_avg;
     vfi::FreqResidency residency;
   };
+  // With thermal enabled the per-tile accumulator is the (sole) energy
+  // accounting path — tiles sum to islands sum to the total — so the
+  // island-wide accumulators are not built at all.
   std::vector<IslandWindow> win(static_cast<std::size_t>(n_islands));
   std::vector<IslandMeasure> meas(static_cast<std::size_t>(n_islands));
   std::vector<power::PowerAccumulator> power_accs;
@@ -110,7 +113,7 @@ RunResult Simulator::run(const RunPhases& phases) {
         static_cast<double>(net_.island_buffer_capacity_flits(i));
     win[static_cast<std::size_t>(i)].nodes =
         static_cast<int>(net_.island_members(i).size());
-    power_accs.emplace_back(energy_, net_.island_inventory(i));
+    if (!cfg_.thermal.enabled) power_accs.emplace_back(energy_, net_.island_inventory(i));
   }
 
   // --- settle detection (every island must settle) ---
@@ -147,6 +150,45 @@ RunResult Simulator::run(const RunPhases& phases) {
 
   const int n_nodes = net_.num_nodes();
 
+  // --- thermal state (only when enabled; the off path is untouched) ---
+  const bool thermal_on = cfg_.thermal.enabled;
+  std::unique_ptr<thermal::ThermalModel> therm;
+  std::unique_ptr<power::TilePowerAccumulator> tile_acc;
+  std::unique_ptr<dvfs::ThermalGuard> guard;
+  std::vector<power::ActivityCounters> tile_activity;
+  std::vector<std::uint64_t> tile_cycles;
+  std::vector<double> tile_vdd;
+  /// Per-island frequency caps the guard derives each boundary; 0 = none.
+  std::vector<common::Hertz> island_caps(static_cast<std::size_t>(n_islands), 0.0);
+  std::vector<Picoseconds> throttled_ps(static_cast<std::size_t>(n_islands), 0);
+  std::vector<double> leak_snap_j, leak_ref_snap_j;  ///< per-tile, at measurement start
+  Picoseconds last_boundary_ps = 0;
+
+  auto snapshot_tiles = [&]() {
+    for (noc::NodeId id = 0; id < n_nodes; ++id) {
+      const std::size_t t = static_cast<std::size_t>(id);
+      const int isl = net_.island_of(id);
+      tile_activity[t] = net_.node_activity(id);
+      tile_cycles[t] = clock_.noc_cycles(isl);
+      tile_vdd[t] = bank_.manager(isl).current_voltage();
+    }
+  };
+
+  if (thermal_on) {
+    therm = std::make_unique<thermal::ThermalModel>(
+        cfg_.network.width, cfg_.network.height, cfg_.thermal.params, cfg_.thermal.step_ps);
+    std::vector<power::TileInventory> tiles;
+    tiles.reserve(static_cast<std::size_t>(n_nodes));
+    for (noc::NodeId id = 0; id < n_nodes; ++id) tiles.push_back(net_.node_inventory(id));
+    tile_acc = std::make_unique<power::TilePowerAccumulator>(energy_, std::move(tiles));
+    guard = std::make_unique<dvfs::ThermalGuard>(cfg_.thermal.guard, n_islands);
+    tile_activity.resize(static_cast<std::size_t>(n_nodes));
+    tile_cycles.resize(static_cast<std::size_t>(n_nodes));
+    tile_vdd.resize(static_cast<std::size_t>(n_nodes));
+    snapshot_tiles();
+    tile_acc->start(clock_.now(), tile_activity, tile_cycles);
+  }
+
   auto process_delivered = [&]() {
     if (net_.delivered().empty()) return;
     for (const auto& rec : net_.delivered()) {
@@ -169,6 +211,37 @@ RunResult Simulator::run(const RunPhases& phases) {
       traffic_->on_packet_delivered(rec, clock_.now());
     }
     net_.delivered().clear();
+  };
+
+  /// Thermal bookkeeping at a control boundary, *before* the control
+  /// updates run: close the elapsed per-tile power interval (constant
+  /// (V, F) per tile over it), integrate the RC network up to now under
+  /// that zero-order-hold drive, account throttle residency for the
+  /// elapsed interval, and refresh the per-island guard caps the updates
+  /// below will apply.
+  auto thermal_boundary = [&]() {
+    snapshot_tiles();
+    tile_acc->sample(clock_.now(), tile_activity, tile_cycles, tile_vdd, measuring);
+    therm->advance(clock_.now(), tile_acc->dynamic_w(), tile_acc->leakage_nominal_w());
+    if (measuring) {
+      for (int i = 0; i < n_islands; ++i) {
+        if (guard->throttled(i)) {
+          throttled_ps[static_cast<std::size_t>(i)] += clock_.now() - last_boundary_ps;
+        }
+      }
+    }
+    last_boundary_ps = clock_.now();
+    for (int i = 0; i < n_islands; ++i) {
+      double peak = cfg_.thermal.params.ambient_c;
+      for (const noc::NodeId id : net_.island_members(i)) {
+        peak = std::max(peak, therm->tile_temp_c(id));
+      }
+      const bool throttle = guard->observe(i, peak);
+      island_caps[static_cast<std::size_t>(i)] =
+          throttle ? (cfg_.thermal.guard.f_throttle > 0.0 ? cfg_.thermal.guard.f_throttle
+                                                          : bank_.manager(i).f_min())
+                   : 0.0;
+    }
   };
 
   auto do_control_update = [&](int i) {
@@ -195,13 +268,16 @@ RunResult Simulator::run(const RunPhases& phases) {
             : 0.0;
 
     const common::Hertz before = bank_.manager(i).current_frequency();
-    const common::Hertz applied = bank_.apply_update(i, clock_.now(), m);
+    const common::Hertz applied =
+        bank_.apply_update(i, clock_.now(), m, island_caps[static_cast<std::size_t>(i)]);
     if (std::abs(applied - before) > 1e3) {
       clock_.set_noc_frequency(i, applied);
       if (measuring) {
-        power_accs[static_cast<std::size_t>(i)].change_operating_point(
-            clock_.now(), net_.island_activity(i), clock_.noc_cycles(i),
-            bank_.manager(i).current_voltage(), applied);
+        if (!thermal_on) {
+          power_accs[static_cast<std::size_t>(i)].change_operating_point(
+              clock_.now(), net_.island_activity(i), clock_.noc_cycles(i),
+              bank_.manager(i).current_voltage(), applied);
+        }
         m_state.freq_avg.set(common::seconds_from_ps(clock_.now()), applied);
         m_state.volt_avg.set(common::seconds_from_ps(clock_.now()),
                              bank_.manager(i).current_voltage());
@@ -259,8 +335,10 @@ RunResult Simulator::run(const RunPhases& phases) {
       IslandMeasure& m_state = meas[static_cast<std::size_t>(i)];
       const common::Hertz f = bank_.manager(i).current_frequency();
       const double v = bank_.manager(i).current_voltage();
-      power_accs[static_cast<std::size_t>(i)].start(clock_.now(), net_.island_activity(i),
-                                                    clock_.noc_cycles(i), v, f);
+      if (!thermal_on) {
+        power_accs[static_cast<std::size_t>(i)].start(clock_.now(), net_.island_activity(i),
+                                                      clock_.noc_cycles(i), v, f);
+      }
       m_state.freq_avg.set(common::seconds_from_ps(clock_.now()), f);
       m_state.volt_avg.set(common::seconds_from_ps(clock_.now()), v);
       m_state.residency.begin(clock_.now(), f);
@@ -268,21 +346,75 @@ RunResult Simulator::run(const RunPhases& phases) {
     }
     result.warmup_node_cycles_used = clock_.node_cycles();
     result.controller_settled = settled() || !phases.adaptive_warmup;
+    if (thermal_on) {
+      // Warmup temperatures carry over (the die does not cool between
+      // phases); only the statistics and energy counters reset.
+      tile_acc->reset_energy();
+      therm->reset_stats();
+      leak_snap_j = therm->tile_leakage_j();
+      leak_ref_snap_j = therm->tile_leakage_ref_j();
+      std::fill(throttled_ps.begin(), throttled_ps.end(), Picoseconds{0});
+    }
   };
 
   auto finalize = [&]() {
     const double t_end_s = common::seconds_from_ps(clock_.now());
     for (int i = 0; i < n_islands; ++i) {
-      power_accs[static_cast<std::size_t>(i)].stop(clock_.now(), net_.island_activity(i),
-                                                   clock_.noc_cycles(i));
+      if (!thermal_on) {
+        power_accs[static_cast<std::size_t>(i)].stop(clock_.now(), net_.island_activity(i),
+                                                     clock_.noc_cycles(i));
+      }
       meas[static_cast<std::size_t>(i)].residency.end(clock_.now());
     }
-    for (const auto& acc : power_accs) {
-      result.power.datapath_j += acc.breakdown().datapath_j;
-      result.power.clock_j += acc.breakdown().clock_j;
-      result.power.leakage_j += acc.breakdown().leakage_j;
+    if (!thermal_on) {
+      for (const auto& acc : power_accs) {
+        result.power.datapath_j += acc.breakdown().datapath_j;
+        result.power.clock_j += acc.breakdown().clock_j;
+        result.power.leakage_j += acc.breakdown().leakage_j;
+      }
+      result.power.elapsed_ps += power_accs.front().breakdown().elapsed_ps;
+    } else {
+      // Temperature-resolved attribution: charge each tile the leakage the
+      // RC integration accumulated at its actual temperatures over the
+      // measurement window, then sum tiles into the run total (and below,
+      // tiles into islands — so islands still sum to the total exactly).
+      std::vector<double> leak_meas(static_cast<std::size_t>(n_nodes), 0.0);
+      std::vector<double> leak_ref_meas(static_cast<std::size_t>(n_nodes), 0.0);
+      const std::vector<double>& leak_now = therm->tile_leakage_j();
+      const std::vector<double>& leak_ref_now = therm->tile_leakage_ref_j();
+      for (int t = 0; t < n_nodes; ++t) {
+        const std::size_t ti = static_cast<std::size_t>(t);
+        leak_meas[ti] = leak_now[ti] - leak_snap_j[ti];
+        leak_ref_meas[ti] = leak_ref_now[ti] - leak_ref_snap_j[ti];
+      }
+      tile_acc->add_leakage_j(leak_meas);
+      for (const power::PowerBreakdown& tile : tile_acc->tiles()) {
+        result.power.datapath_j += tile.datapath_j;
+        result.power.clock_j += tile.clock_j;
+        result.power.leakage_j += tile.leakage_j;
+      }
+      result.power.elapsed_ps = clock_.now() - measure_start_ps;
+
+      result.thermal.enabled = true;
+      result.thermal.peak_temp_c = therm->window_peak_c();
+      result.thermal.mean_temp_c = therm->window_mean_c();
+      result.thermal.final_peak_temp_c = therm->peak_temp_c();
+      result.thermal.final_mean_temp_c = therm->mean_temp_c();
+      result.thermal.tile_peak_temp_c = therm->tile_peak_c();
+      for (const double j : leak_meas) result.thermal.leakage_j += j;
+      for (const double j : leak_ref_meas) result.thermal.leakage_ref_j += j;
+      const double dur_ps = static_cast<double>(clock_.now() - measure_start_ps);
+      double residency_nodes = 0.0;
+      for (int i = 0; i < n_islands; ++i) {
+        const std::size_t ii = static_cast<std::size_t>(i);
+        result.thermal.throttle_events += guard->engage_count(i);
+        if (dur_ps > 0.0) {
+          residency_nodes += static_cast<double>(throttled_ps[ii]) / dur_ps *
+                             static_cast<double>(win[ii].nodes);
+        }
+      }
+      result.thermal.throttle_residency = residency_nodes / static_cast<double>(n_nodes);
     }
-    result.power.elapsed_ps += power_accs.front().breakdown().elapsed_ps;
     result.measure_node_cycles = clock_.node_cycles() - measure_start_node;
     result.measure_noc_cycles = clock_.noc_cycles(0) - measure_start_noc;
     result.measure_duration_ps = clock_.now() - measure_start_ps;
@@ -347,7 +479,10 @@ RunResult Simulator::run(const RunPhases& phases) {
                          static_cast<double>(win[static_cast<std::size_t>(i)].nodes);
       }
       result.final_frequency_hz = f_final_nodes / static_cast<double>(n_nodes);
-      // No single global actuation trace exists; see result.islands[i].vf_trace.
+      // Convention: the global trace is island 0's (the domain the global
+      // cycle-denominated metrics are counted in); every island's own
+      // trace lives in result.islands[i].vf_trace.
+      result.vf_trace = bank_.manager(0).trace();
     }
 
     const double delivered_bits =
@@ -391,7 +526,25 @@ RunResult Simulator::run(const RunPhases& phases) {
                     (static_cast<double>(isl.measure_noc_cycles) *
                      win[static_cast<std::size_t>(i)].buffer_capacity)
               : 0.0;
-      isl.power = power_accs[static_cast<std::size_t>(i)].breakdown();
+      if (!thermal_on) {
+        isl.power = power_accs[static_cast<std::size_t>(i)].breakdown();
+      } else {
+        isl.power.elapsed_ps = clock_.now() - measure_start_ps;
+        for (const noc::NodeId id : net_.island_members(i)) {
+          const power::PowerBreakdown& tile =
+              tile_acc->tiles()[static_cast<std::size_t>(id)];
+          isl.power.datapath_j += tile.datapath_j;
+          isl.power.clock_j += tile.clock_j;
+          isl.power.leakage_j += tile.leakage_j;
+          isl.peak_temp_c = std::max(
+              isl.peak_temp_c, result.thermal.tile_peak_temp_c[static_cast<std::size_t>(id)]);
+        }
+        const double dur_ps = static_cast<double>(clock_.now() - measure_start_ps);
+        isl.throttle_residency =
+            dur_ps > 0.0 ? static_cast<double>(throttled_ps[static_cast<std::size_t>(i)]) / dur_ps
+                         : 0.0;
+        isl.throttle_events = guard->engage_count(i);
+      }
     }
   };
 
@@ -401,6 +554,7 @@ RunResult Simulator::run(const RunPhases& phases) {
     if (edge.node) {
       traffic_->node_tick(clock_.now(), clock_.noc_cycles(0), net_);
       if (clock_.node_cycles() % period == 0) {
+        if (thermal_on) thermal_boundary();
         if (measuring && clock_.node_cycles() >= measure_end_node) {
           finalize();
           break;

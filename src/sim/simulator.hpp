@@ -29,16 +29,30 @@
 #include <vector>
 
 #include "dvfs/dvfs_manager.hpp"
+#include "dvfs/thermal_guard.hpp"
 #include "noc/network.hpp"
 #include "power/energy_model.hpp"
 #include "power/power_model.hpp"
 #include "power/vf_curve.hpp"
 #include "sim/clock.hpp"
 #include "sim/metrics.hpp"
+#include "thermal/thermal_model.hpp"
 #include "traffic/traffic_model.hpp"
 #include "vfi/island_dvfs.hpp"
 
 namespace nocdvfs::sim {
+
+/// Thermal subsystem wiring: off by default, in which case the simulator's
+/// behaviour (and its numerical results) are bit-identical to a build
+/// without the subsystem.
+struct ThermalConfig {
+  bool enabled = false;
+  thermal::ThermalParams params{};
+  /// RC integration step (decoupled from the NoC clock); must respect the
+  /// explicit-Euler stability bound (ThermalModel::stability_bound_s).
+  common::Picoseconds step_ps = 1'000'000;  ///< 1000 ns
+  dvfs::ThermalGuardConfig guard{};
+};
 
 struct SimulatorConfig {
   noc::NetworkConfig network{};  ///< includes the island partition (island_of)
@@ -48,6 +62,7 @@ struct SimulatorConfig {
   power::EnergyParams energy_params{};
   /// Bound on each island's (t, F, V) actuation trace; 0 = unbounded.
   std::size_t vf_trace_max = 0;
+  ThermalConfig thermal{};
 };
 
 struct RunPhases {

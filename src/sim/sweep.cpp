@@ -183,6 +183,9 @@ void validate_points(const std::vector<SweepPoint>& points,
     if (std::string island_problem = island_config_problem(p.scenario);
         !island_problem.empty()) {
       problem = std::move(island_problem);
+    } else if (std::string thermal_problem = thermal_config_problem(p.scenario);
+               !thermal_problem.empty()) {
+      problem = std::move(thermal_problem);
     } else if (p.scenario.workload == Scenario::Workload::Custom &&
                !p.scenario.traffic_factory) {
       problem =
@@ -337,7 +340,8 @@ void CsvResultSink::begin_sweep(const std::string& group,
            "power_mw,energy_per_bit_pj,energy_delay_product_js,"
            "delivered_flits_per_node_cycle,avg_buffer_occupancy,"
            "packets_delivered,saturated,controller_settled,warmup_node_cycles_used,"
-           "islands,num_islands,freq_residency,island_power_mw\n";
+           "islands,num_islands,freq_residency,island_power_mw,"
+           "thermal,peak_temp_c,mean_temp_c,throttle_residency,leakage_j,leakage_ref_j\n";
     header_written_ = true;
   }
 }
@@ -364,7 +368,10 @@ void CsvResultSink::on_result(const SweepRecord& record) {
       << (r.saturated ? 1 : 0) << ',' << (r.controller_settled ? 1 : 0) << ','
       << r.warmup_node_cycles_used << ',' << csv_escape(s.islands) << ','
       << r.islands.size() << ',' << csv_escape(residency_cell(r)) << ','
-      << csv_escape(island_power_cell(r)) << '\n';
+      << csv_escape(island_power_cell(r)) << ',' << (r.thermal.enabled ? 1 : 0) << ','
+      << r.thermal.peak_temp_c << ',' << r.thermal.mean_temp_c << ','
+      << r.thermal.throttle_residency << ',' << r.thermal.leakage_j << ','
+      << r.thermal.leakage_ref_j << '\n';
   os_ << row.str();
 }
 
@@ -407,6 +414,14 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << ",\"packets_delivered\":" << r.packets_delivered
      << ",\"saturated\":" << (r.saturated ? "true" : "false")
      << ",\"controller_settled\":" << (r.controller_settled ? "true" : "false") << "}"
+     << ",\"thermal\":{\"enabled\":" << (r.thermal.enabled ? "true" : "false")
+     << ",\"peak_temp_c\":" << r.thermal.peak_temp_c
+     << ",\"mean_temp_c\":" << r.thermal.mean_temp_c
+     << ",\"final_peak_temp_c\":" << r.thermal.final_peak_temp_c
+     << ",\"throttle_residency\":" << r.thermal.throttle_residency
+     << ",\"throttle_events\":" << r.thermal.throttle_events
+     << ",\"leakage_j\":" << r.thermal.leakage_j
+     << ",\"leakage_ref_j\":" << r.thermal.leakage_ref_j << "}"
      << ",\"islands\":[";
   for (std::size_t i = 0; i < r.islands.size(); ++i) {
     const IslandResult& isl = r.islands[i];
@@ -419,7 +434,9 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
        << ",\"final_frequency_ghz\":" << isl.final_frequency_hz * 1e-9
        << ",\"measure_noc_cycles\":" << isl.measure_noc_cycles
        << ",\"avg_buffer_occupancy\":" << isl.avg_buffer_occupancy
-       << ",\"power_mw\":" << isl.power.average_power_mw() << ",\"freq_residency\":[";
+       << ",\"power_mw\":" << isl.power.average_power_mw()
+       << ",\"peak_temp_c\":" << isl.peak_temp_c
+       << ",\"throttle_residency\":" << isl.throttle_residency << ",\"freq_residency\":[";
     for (std::size_t l = 0; l < isl.freq_residency.size(); ++l) {
       if (l > 0) os << ',';
       os << "{\"f_hz\":" << isl.freq_residency[l].f_hz

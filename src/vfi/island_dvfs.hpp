@@ -43,10 +43,12 @@ class IslandControlBank {
   }
 
   /// Run one control update on one island's manager; returns the clamped,
-  /// snapped frequency now in effect for that island.
+  /// snapped frequency now in effect for that island. `f_cap` is an
+  /// optional per-island actuation cap (the thermal throttle); 0 = none.
   common::Hertz apply_update(int island, common::Picoseconds now,
-                             const dvfs::WindowMeasurements& m) {
-    return manager(island).apply_update(now, m);
+                             const dvfs::WindowMeasurements& m,
+                             common::Hertz f_cap = 0.0) {
+    return manager(island).apply_update(now, m, f_cap);
   }
 
   /// All islands start at the top of the shared range.

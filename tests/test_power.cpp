@@ -140,6 +140,33 @@ TEST(EnergyModel, IdlePowerMatchesFig6Intercept) {
   EXPECT_LT(idle_mw, 115.0);
 }
 
+TEST(EnergyModel, LeakageScalingAtCurveVoltageExtremes) {
+  // The VF curve tunes over [0.56, 0.90] V; exercise the scaling laws at
+  // both endpoints (previous coverage only hit interior points).
+  const EnergyModel m(EnergyModel::reference_geometry());
+  const VfCurve c = VfCurve::fdsoi28();
+  EXPECT_DOUBLE_EQ(c.v_min(), 0.56);
+  EXPECT_DOUBLE_EQ(c.v_max(), 0.90);
+  // Top of the range is the calibration point: scale factors are exactly 1.
+  EXPECT_DOUBLE_EQ(m.leakage_scale(c.v_max()), 1.0);
+  EXPECT_DOUBLE_EQ(m.dynamic_scale(c.v_max()), 1.0);
+  // Bottom of the range follows the cubic law exactly.
+  EXPECT_NEAR(m.leakage_scale(c.v_min()), std::pow(0.56 / 0.90, 3.0), 1e-12);
+  EXPECT_NEAR(m.dynamic_scale(c.v_min()), std::pow(0.56 / 0.90, 2.0), 1e-12);
+  // Leakage power at the endpoints brackets every interior voltage.
+  const double bottom_w = m.router_leakage_w(c.v_min());
+  const double top_w = m.router_leakage_w(c.v_max());
+  EXPECT_LT(bottom_w, top_w);
+  for (int step = 0; step <= 17; ++step) {
+    const double v = c.v_min() + (c.v_max() - c.v_min()) * step / 17.0;
+    EXPECT_GE(m.router_leakage_w(v), bottom_w) << "v = " << v;
+    EXPECT_LE(m.router_leakage_w(v), top_w) << "v = " << v;
+  }
+  // The full voltage swing cuts leakage ~4x — the mechanism behind the
+  // paper's Fig. 6 power gap.
+  EXPECT_NEAR(top_w / bottom_w, std::pow(0.90 / 0.56, 3.0), 1e-9);
+}
+
 TEST(EnergyModel, RejectsDegenerateGeometry) {
   RouterGeometry g = EnergyModel::reference_geometry();
   g.num_ports = 1;
@@ -207,6 +234,45 @@ TEST(PowerAccumulator, LowerVoltageSegmentCostsLess) {
   EXPECT_LT(cold.breakdown().total_j(), hot.breakdown().total_j());
   EXPECT_LT(cold.breakdown().datapath_j, hot.breakdown().datapath_j);
   EXPECT_LT(cold.breakdown().leakage_j, hot.breakdown().leakage_j);
+}
+
+TEST(PowerAccumulator, RestartAccumulatesAcrossStopStartCycles) {
+  // The documented restart semantics: stop() closes the interval but keeps
+  // the accumulated breakdown, so a re-start continues adding to it (the
+  // simulator's per-phase protocol relies on this).
+  const EnergyModel m(EnergyModel::reference_geometry());
+  PowerAccumulator acc(m, small_inventory());
+
+  ActivityCounters a0;
+  ActivityCounters a1;
+  a1.buffer_writes = 400;
+  acc.start(0, a0, 0, 0.9, 1e9);
+  acc.stop(1'000'000, a1, 1000);
+  EXPECT_FALSE(acc.running());
+  const double first_j = acc.breakdown().total_j();
+  EXPECT_GT(first_j, 0.0);
+
+  // Restart after a gap: the gap itself charges nothing.
+  ActivityCounters a2 = a1;
+  a2.crossbar_traversals = 250;
+  acc.start(5'000'000, a1, 1000, 0.7, 6e8);
+  EXPECT_TRUE(acc.running());
+  acc.stop(6'000'000, a2, 1600);
+
+  PowerAccumulator second(m, small_inventory());
+  second.start(5'000'000, a1, 1000, 0.7, 6e8);
+  second.stop(6'000'000, a2, 1600);
+  EXPECT_NEAR(acc.breakdown().total_j(), first_j + second.breakdown().total_j(), 1e-18);
+  // Elapsed time covers only the two active intervals, not the gap.
+  EXPECT_EQ(acc.breakdown().elapsed_ps, 2'000'000u);
+
+  // reset() zeroes the breakdown and allows a fresh start.
+  acc.reset();
+  EXPECT_EQ(acc.breakdown().total_j(), 0.0);
+  EXPECT_EQ(acc.breakdown().elapsed_ps, 0u);
+  acc.start(0, a0, 0, 0.9, 1e9);
+  acc.stop(1'000'000, a1, 1000);
+  EXPECT_NEAR(acc.breakdown().total_j(), first_j, 1e-18);
 }
 
 TEST(PowerAccumulator, MisuseIsCaught) {

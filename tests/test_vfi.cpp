@@ -222,6 +222,44 @@ TEST(VfiRun, HotspotIslandsDivergeUnderLocalControl) {
   EXPECT_TRUE(traces_differ);
 }
 
+TEST(VfiRun, MultiIslandRunPopulatesGlobalVfTraceWithIsland0) {
+  // Convention (documented on RunResult::vf_trace): multi-island runs fill
+  // the global actuation trace with *island 0's* trace — the same domain
+  // the global cycle-denominated metrics are counted in. It used to stay
+  // silently empty.
+  sim::Scenario s = tiny_vfi();
+  s.islands = "quadrants";
+  s.policy.policy = sim::Policy::Rmsd;
+  s.policy.lambda_max = 0.25;
+  const auto r = sim::run(s);
+  ASSERT_EQ(r.islands.size(), 4u);
+
+  // RMSD retunes away from f_max on the first update, so the trace is
+  // non-empty for every island — and the global one mirrors island 0's.
+  ASSERT_FALSE(r.islands[0].vf_trace.empty());
+  ASSERT_EQ(r.vf_trace.size(), r.islands[0].vf_trace.size());
+  for (std::size_t i = 0; i < r.vf_trace.size(); ++i) {
+    EXPECT_EQ(r.vf_trace[i].t, r.islands[0].vf_trace[i].t);
+    EXPECT_DOUBLE_EQ(r.vf_trace[i].f, r.islands[0].vf_trace[i].f);
+    EXPECT_DOUBLE_EQ(r.vf_trace[i].vdd, r.islands[0].vf_trace[i].vdd);
+  }
+  // And it is genuinely island 0's, not a copy of another island's: the
+  // quadrants diverge under the hotspot load, so at least one other island
+  // has a different trace.
+  bool any_differs = false;
+  for (std::size_t i = 1; i < r.islands.size(); ++i) {
+    const auto& other = r.islands[i].vf_trace;
+    if (other.size() != r.vf_trace.size()) {
+      any_differs = true;
+      continue;
+    }
+    for (std::size_t p = 0; p < other.size(); ++p) {
+      if (other[p].f != r.vf_trace[p].f) any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
 TEST(VfiRun, CdcSynchronizerPenaltyRaisesCrossIslandDelay) {
   // Transpose traffic on a column partition: every packet crosses at
   // least one boundary, so raising cdc_sync_cycles must raise delay.

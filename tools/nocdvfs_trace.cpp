@@ -1,9 +1,13 @@
 /// \file nocdvfs_trace.cpp
 /// Inspection CLI for `.noctrace` packet traces:
 ///
-///   nocdvfs_trace info  <file>       header + aggregate summary
-///   nocdvfs_trace head  <file> [n]   first n records (default 10)
-///   nocdvfs_trace stats <file>       per-class / per-node breakdown
+///   nocdvfs_trace info  <file>         header + aggregate summary
+///   nocdvfs_trace head  <file> [n]     first n records (default 10)
+///   nocdvfs_trace stats <file> [--csv] per-class / per-node breakdown
+///
+/// `stats --csv` emits one machine-readable row per node
+/// (`node,x,y,src_packets,src_flits,dst_packets,dst_flits`) so plotting
+/// scripts can consume traces without awk surgery.
 ///
 /// `head` and `stats` stream through TraceReader — they never hold the
 /// whole trace in memory, so they work on arbitrarily large captures.
@@ -22,10 +26,12 @@ using nocdvfs::trace::TraceReader;
 using nocdvfs::trace::TracePacket;
 
 int usage() {
-  std::cerr << "usage: nocdvfs_trace <info|head|stats> <file.noctrace> [count]\n"
+  std::cerr << "usage: nocdvfs_trace <info|head|stats> <file.noctrace> [count|--csv]\n"
                "  info   print the header and aggregate summary\n"
                "  head   print the first [count] records (default 10)\n"
-               "  stats  per-class and per-node breakdown of the full trace\n";
+               "  stats  per-class and per-node breakdown of the full trace;\n"
+               "         --csv emits one row per node "
+               "(node,x,y,src_packets,src_flits,dst_packets,dst_flits)\n";
   return 2;
 }
 
@@ -74,12 +80,15 @@ int cmd_head(const std::string& path, std::uint64_t count) {
   return 0;
 }
 
-int cmd_stats(const std::string& path) {
+int cmd_stats(const std::string& path, bool csv) {
   TraceReader reader(path);
-  print_header(reader, path);
+  if (!csv) print_header(reader, path);
 
   const int nodes = reader.header().num_nodes();
   std::vector<std::uint64_t> src_flits(static_cast<std::size_t>(nodes), 0);
+  std::vector<std::uint64_t> src_packets(static_cast<std::size_t>(nodes), 0);
+  std::vector<std::uint64_t> dst_flits(static_cast<std::size_t>(nodes), 0);
+  std::vector<std::uint64_t> dst_packets(static_cast<std::size_t>(nodes), 0);
   std::uint64_t class_packets[256] = {};
   std::uint64_t flits = 0;
   std::uint16_t min_size = 0xffff;
@@ -88,11 +97,26 @@ int cmd_stats(const std::string& path) {
 
   while (auto p = reader.next()) {
     src_flits[p->src] += p->flits;
+    ++src_packets[p->src];
+    dst_flits[p->dst] += p->flits;
+    ++dst_packets[p->dst];
     ++class_packets[p->traffic_class];
     flits += p->flits;
     min_size = std::min(min_size, p->flits);
     max_size = std::max(max_size, p->flits);
     last_cycle = p->inject_node_cycle;
+  }
+  if (csv) {
+    const int width = reader.header().width;
+    std::cout << "node,x,y,src_packets,src_flits,dst_packets,dst_flits\n";
+    for (int n = 0; n < nodes; ++n) {
+      std::cout << n << ',' << n % width << ',' << n / width << ','
+                << src_packets[static_cast<std::size_t>(n)] << ','
+                << src_flits[static_cast<std::size_t>(n)] << ','
+                << dst_packets[static_cast<std::size_t>(n)] << ','
+                << dst_flits[static_cast<std::size_t>(n)] << "\n";
+    }
+    return 0;
   }
   const std::uint64_t packets = reader.packets_read();
   if (packets == 0) {
@@ -142,7 +166,11 @@ int main(int argc, char** argv) {
       if (argc > 3) count = std::stoull(argv[3]);
       return cmd_head(path, count);
     }
-    if (cmd == "stats") return cmd_stats(path);
+    if (cmd == "stats") {
+      const bool csv = argc > 3 && std::string(argv[3]) == "--csv";
+      if (argc > 3 && !csv) return usage();
+      return cmd_stats(path, csv);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
