@@ -1,0 +1,357 @@
+/// \file perf_baseline.cpp
+/// The tracked performance baseline: runs a fixed sweep of end-to-end
+/// `Simulator::run` scenarios under wall-clock timing and emits
+/// `BENCH_core.json` — simulated cycles/sec, packets/sec and ns/cycle per
+/// scenario plus host metadata — in a line-oriented JSON dialect (one
+/// scenario object per line) so the built-in compare mode needs no JSON
+/// library.
+///
+///   perf_baseline out=BENCH_core.json            # (re)generate a baseline
+///   perf_baseline compare=BENCH_core.json        # run fresh, diff, exit 1
+///                                                #   on >15% regression
+///   perf_baseline compare=... tolerance=0.20     # custom gate
+///   perf_baseline fast=1 ...                     # CI-sized phases
+///
+/// Cross-machine comparisons are normalized by `calib_mops`, a short
+/// integer-ALU spin loop measured at startup on both the baseline host
+/// (recorded in the file) and the comparing host: the gate tests the
+/// *calibration-relative* throughput ratio, so a slower CI runner does not
+/// read as a simulator regression. The sweep deliberately includes
+/// `skip_idle=0` twins of the idle/low 32×32 scenarios — the speedup
+/// column they imply is the number the skip-idle hot path is accountable
+/// for (ROADMAP acceptance: ≥2× on idle/low-load 32×32).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace nocdvfs;
+
+bool fast_mode_env() {
+  const char* v = std::getenv("NOCDVFS_BENCH_FAST");
+  return v != nullptr && std::string(v) != "0";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Host speed yardstick: xorshift64 steps per microsecond over ~0.2 s.
+/// Pure integer ALU + registers — stable across runs, roughly proportional
+/// to single-core speed, which is what the simulator is bound by.
+double calibrate_mops() {
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 88172645463325252ull;
+  std::uint64_t ops = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 1000000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    ops += 1000000;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.2);
+  sink = x;
+  (void)sink;
+  return static_cast<double>(ops) / elapsed / 1e6;
+}
+
+struct PerfScenario {
+  std::string name;
+  sim::Scenario s;
+};
+
+/// The fixed sweep. Fast mode shrinks the phases (same scenarios, same
+/// names) so CI stays under a minute; a fast-mode file and a full-mode
+/// file are still comparable because the gate is throughput, not runtime.
+std::vector<PerfScenario> perf_sweep(bool fast) {
+  const std::uint64_t warmup = fast ? 500 : 2000;
+  const std::uint64_t measure = fast ? 5000 : 20000;
+  auto base = [&](int k, double lambda) {
+    sim::Scenario s;
+    s.network.width = k;
+    s.network.height = k;
+    s.lambda = lambda;
+    s.packet_size = 20;
+    s.seed = 1;
+    s.control_period = 5000;
+    s.phases.warmup_node_cycles = warmup;
+    s.phases.measure_node_cycles = measure;
+    s.phases.adaptive_warmup = false;
+    return s;
+  };
+
+  std::vector<PerfScenario> out;
+  out.push_back({"idle_32x32", base(32, 0.0)});
+  out.push_back({"low_32x32", base(32, 0.01)});
+  {
+    PerfScenario p{"idle_32x32_alwaysstep", base(32, 0.0)};
+    p.s.skip_idle = false;
+    out.push_back(p);
+  }
+  {
+    PerfScenario p{"low_32x32_alwaysstep", base(32, 0.01)};
+    p.s.skip_idle = false;
+    out.push_back(p);
+  }
+  out.push_back({"sat_16x16", base(16, 0.5)});
+  {
+    PerfScenario p{"low_16x16_quadrants", base(16, 0.01)};
+    p.s.islands = "quadrants";
+    p.s.policy.policy = sim::Policy::Rmsd;
+    out.push_back(p);
+  }
+  {
+    PerfScenario p{"mid_8x8_quadrants_thermal", base(8, 0.15)};
+    p.s.islands = "quadrants";
+    p.s.thermal = true;
+    p.s.policy.policy = sim::Policy::Rmsd;
+    out.push_back(p);
+  }
+  {
+    PerfScenario p{"paper_5x5_rmsd", base(5, 0.15)};
+    p.s.policy.policy = sim::Policy::Rmsd;
+    out.push_back(p);
+  }
+  return out;
+}
+
+struct Measurement {
+  std::string name;
+  std::uint64_t node_cycles = 0;
+  std::uint64_t packets = 0;
+  double wall_s = 0.0;
+
+  double cycles_per_sec() const { return static_cast<double>(node_cycles) / wall_s; }
+  double packets_per_sec() const { return static_cast<double>(packets) / wall_s; }
+  double ns_per_cycle() const { return wall_s * 1e9 / static_cast<double>(node_cycles); }
+};
+
+Measurement measure_scenario(const PerfScenario& p, int repeats) {
+  Measurement m;
+  m.name = p.name;
+  m.node_cycles = p.s.phases.warmup_node_cycles + p.s.phases.measure_node_cycles;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::RunResult r = sim::run(p.s);
+    const double wall = seconds_since(t0);
+    if (rep == 0 || wall < m.wall_s) m.wall_s = wall;  // best-of: least noise
+    m.packets = r.packets_delivered;
+  }
+  return m;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const std::vector<Measurement>& rows, bool fast,
+                double calib_mops) {
+  os << "{\n";
+  os << "  \"schema\": \"nocdvfs-bench-core-v1\",\n";
+  os << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n";
+  os << "  \"host\": { \"calib_mops\": " << std::fixed << std::setprecision(1) << calib_mops
+     << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ", \"compiler\": \""
+#if defined(__clang__)
+     << "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+     << "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+     << "unknown"
+#endif
+     << "\", \"asserts\": "
+#if defined(NOCDVFS_ENABLE_ASSERTS)
+     << 1
+#else
+     << 0
+#endif
+     << " },\n";
+  os << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    os << "    { \"name\": \"" << json_escape(m.name) << "\", \"node_cycles\": "
+       << m.node_cycles << ", \"packets\": " << m.packets << ", \"wall_s\": "
+       << std::setprecision(4) << m.wall_s << ", \"cycles_per_sec\": " << std::setprecision(1)
+       << m.cycles_per_sec() << ", \"packets_per_sec\": " << m.packets_per_sec()
+       << ", \"ns_per_cycle\": " << std::setprecision(2) << m.ns_per_cycle() << " }"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+/// Minimal extraction from the line-oriented dialect this tool writes: the
+/// value following `"key": ` on a line (number or quoted string).
+std::string extract(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",} \n", begin);
+  }
+  return line.substr(begin, end - begin);
+}
+
+struct Baseline {
+  double calib_mops = 0.0;
+  std::map<std::string, double> cycles_per_sec;
+};
+
+bool load_baseline(const std::string& path, Baseline& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"calib_mops\"") != std::string::npos) {
+      out.calib_mops = std::stod(extract(line, "calib_mops"));
+    }
+    const std::string name = extract(line, "name");
+    if (!name.empty()) {
+      out.cycles_per_sec[name] = std::stod(extract(line, "cycles_per_sec"));
+    }
+  }
+  return !out.cycles_per_sec.empty() && out.calib_mops > 0.0;
+}
+
+void print_table(const std::vector<Measurement>& rows) {
+  std::cout << std::left << std::setw(28) << "scenario" << std::right << std::setw(12)
+            << "wall [s]" << std::setw(16) << "cycles/sec" << std::setw(14) << "ns/cycle"
+            << std::setw(14) << "packets/s" << "\n";
+  for (const Measurement& m : rows) {
+    std::cout << std::left << std::setw(28) << m.name << std::right << std::fixed
+              << std::setw(12) << std::setprecision(3) << m.wall_s << std::setw(16)
+              << std::setprecision(0) << m.cycles_per_sec() << std::setw(14)
+              << std::setprecision(1) << m.ns_per_cycle() << std::setw(14)
+              << std::setprecision(0) << m.packets_per_sec() << "\n";
+  }
+  // The number the skip-idle hot path is accountable for.
+  auto find = [&](const std::string& n) -> const Measurement* {
+    for (const Measurement& m : rows) {
+      if (m.name == n) return &m;
+    }
+    return nullptr;
+  };
+  for (const auto& [opt, ref] :
+       {std::pair{"idle_32x32", "idle_32x32_alwaysstep"},
+        {"low_32x32", "low_32x32_alwaysstep"}}) {
+    const Measurement* a = find(opt);
+    const Measurement* b = find(ref);
+    if (a && b) {
+      std::cout << "skip-idle speedup (" << opt << "): " << std::setprecision(2)
+                << b->wall_s / a->wall_s << "x\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Config cfg;
+  cfg.declare("out", "", "write the fresh BENCH_core.json to this path");
+  cfg.declare("compare", "",
+              "baseline BENCH_core.json to diff against (exit 1 on regression)");
+  cfg.declare_double("tolerance", 0.15,
+                     "allowed relative throughput loss before the compare gate fails");
+  cfg.declare_int("repeats", 3, "timed repetitions per scenario (best-of)");
+  cfg.declare_bool("fast", fast_mode_env(), "CI-sized phases (~4x faster)");
+  cfg.declare_bool("help", false, "print declared keys and exit");
+  try {
+    cfg.parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (cfg.get_bool("help")) {
+    for (const auto& line : cfg.summary_lines()) std::cout << line << '\n';
+    return 0;
+  }
+
+  const bool fast = cfg.get_bool("fast");
+  const int repeats = static_cast<int>(cfg.get_int("repeats"));
+  std::cout << "perf_baseline: " << (fast ? "fast" : "full") << " sweep, best of "
+            << repeats << "\n";
+  const double calib = calibrate_mops();
+  std::cout << "host calibration: " << std::fixed << std::setprecision(1) << calib
+            << " Mops (xorshift64)\n\n";
+
+  std::vector<Measurement> rows;
+  for (const PerfScenario& p : perf_sweep(fast)) {
+    rows.push_back(measure_scenario(p, repeats));
+  }
+  print_table(rows);
+
+  const std::string out_path = cfg.get_string("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    write_json(out, rows, fast, calib);
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+
+  const std::string compare_path = cfg.get_string("compare");
+  if (compare_path.empty()) return 0;
+
+  Baseline base;
+  if (!load_baseline(compare_path, base)) {
+    std::cerr << "error: cannot parse baseline " << compare_path
+              << " (regenerate with out=" << compare_path << ")\n";
+    return 1;
+  }
+  const double tolerance = cfg.get_double("tolerance");
+  std::cout << "\ncompare vs " << compare_path << " (baseline host " << std::fixed
+            << std::setprecision(1) << base.calib_mops << " Mops, tolerance "
+            << static_cast<int>(tolerance * 100) << "%)\n";
+  bool regressed = false;
+  for (const Measurement& m : rows) {
+    const auto it = base.cycles_per_sec.find(m.name);
+    if (it == base.cycles_per_sec.end()) {
+      std::cerr << "  " << m.name << ": MISSING from baseline — regenerate it\n";
+      regressed = true;
+      continue;
+    }
+    // Calibration-relative throughput ratio: >1 = faster than baseline.
+    const double ratio = (m.cycles_per_sec() / calib) / (it->second / base.calib_mops);
+    const bool fail = ratio < 1.0 - tolerance;
+    std::cout << "  " << std::left << std::setw(28) << m.name << std::right << std::fixed
+              << std::setprecision(2) << ratio << "x" << (fail ? "  REGRESSION" : "")
+              << "\n";
+    regressed = regressed || fail;
+  }
+  if (regressed) {
+    std::cerr << "\nFAIL: throughput regression beyond " << static_cast<int>(tolerance * 100)
+              << "% — if intentional, regenerate BENCH_core.json\n";
+    return 1;
+  }
+  std::cout << "\nOK: no scenario regressed beyond the tolerance\n";
+  return 0;
+}

@@ -34,14 +34,29 @@
 
 namespace nocdvfs::noc {
 
-template <typename T>
-class Channel {
+/// Type-erased channel surface: the reader-side clock edge and the
+/// occupancy query. The Network's skip-idle stepping keeps one flat list
+/// of these per node — every channel a node pops from, flit and credit
+/// alike — so ticking a node's inputs and testing its quiescence need no
+/// knowledge of the payload type. A channel whose reader is asleep is not
+/// ticked at all; that is unobservable because both concrete kinds measure
+/// delivery delay in *reader ticks since the push* (DelayLine slots are
+/// relative to `now_`, CdcFifo ready_ticks to `ticks_`), and wake-on-push
+/// guarantees the reader resumes ticking at the first edge after any push.
+class ChannelBase {
  public:
-  virtual ~Channel() = default;
+  virtual ~ChannelBase() = default;
 
+  /// Reader-domain clock edge.
+  virtual void tick() noexcept = 0;
+  virtual std::size_t in_flight() const noexcept = 0;
+};
+
+template <typename T>
+class Channel : public ChannelBase {
+ public:
   virtual void push(T item) = 0;
   virtual std::optional<T> pop() = 0;
-  virtual std::size_t in_flight() const = 0;
 };
 
 template <typename T>
@@ -54,7 +69,7 @@ class DelayLine final : public Channel<T> {
 
   int latency() const noexcept { return latency_; }
 
-  void tick() noexcept {
+  void tick() noexcept override {
     ++now_;
     if (now_ == slots_.size()) now_ = 0;
     pushed_this_cycle_ = false;
@@ -67,27 +82,28 @@ class DelayLine final : public Channel<T> {
     NOCDVFS_ASSERT(!slots_[slot].has_value(), "DelayLine: overwriting undelivered item");
     slots_[slot] = std::move(item);
     pushed_this_cycle_ = true;
+    ++occupancy_;
   }
 
   std::optional<T> pop() noexcept override {
     std::optional<T> out;
     slots_[now_].swap(out);
+    if (out.has_value()) --occupancy_;
     return out;
   }
 
   /// Peek without consuming (tests/invariant checks).
   const std::optional<T>& due() const noexcept { return slots_[now_]; }
 
-  std::size_t in_flight() const noexcept override {
-    std::size_t n = 0;
-    for (const auto& s : slots_) n += s.has_value() ? 1 : 0;
-    return n;
-  }
+  /// O(1): maintained at push/pop, not a slot scan — it runs in every
+  /// quiescence check of the reader's node.
+  std::size_t in_flight() const noexcept override { return occupancy_; }
 
  private:
   int latency_;
   std::vector<std::optional<T>> slots_;
   std::size_t now_ = 0;
+  std::size_t occupancy_ = 0;
   bool pushed_this_cycle_ = false;
 };
 
@@ -106,7 +122,7 @@ class CdcFifo final : public Channel<T> {
   int ready_delay() const noexcept { return ready_delay_; }
 
   /// Reader-domain clock edge.
-  void tick() noexcept {
+  void tick() noexcept override {
     ++ticks_;
     popped_this_tick_ = false;
   }

@@ -64,7 +64,10 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
   // opposite direction is wired when visiting the neighbor. A link whose
   // endpoints live in different islands becomes a CDC fifo pair: the flit
   // fifo is read (and therefore clocked) by the receiver's island, the
-  // credit fifo by the sender's.
+  // credit fifo by the sender's. Each channel is also indexed by the node
+  // that pops it — flits by the downstream node, credits by the upstream —
+  // which is the per-node tick/quiescence set of the skip-idle path.
+  node_read_.resize(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
     const int src_island = island_of_[static_cast<std::size_t>(id)];
     for (PortDir dir : {PortDir::North, PortDir::East, PortDir::South, PortDir::West}) {
@@ -85,11 +88,13 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
       }
       routers_[static_cast<std::size_t>(id)]->connect_output(dir, flit_ch, credit_ch);
       routers_[static_cast<std::size_t>(nb)]->connect_input(opposite(dir), flit_ch, credit_ch);
+      node_read_[static_cast<std::size_t>(nb)].push_back(flit_ch);
+      node_read_[static_cast<std::size_t>(id)].push_back(credit_ch);
     }
   }
 
   // Local ports: injection (NI -> router) and ejection (router -> NI);
-  // always intra-island.
+  // always intra-island, so all four channels belong to node `id`'s set.
   for (NodeId id = 0; id < n; ++id) {
     const int isl = island_of_[static_cast<std::size_t>(id)];
     auto& inject_flit = new_flit_channel(1, isl);
@@ -102,6 +107,22 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
                                                            &eject_credit);
     nis_[static_cast<std::size_t>(id)]->connect(&inject_flit, &inject_credit, &eject_flit,
                                                 &eject_credit);
+    auto& reads = node_read_[static_cast<std::size_t>(id)];
+    reads.push_back(&inject_flit);
+    reads.push_back(&inject_credit);
+    reads.push_back(&eject_flit);
+    reads.push_back(&eject_credit);
+  }
+
+  // Skip-idle stepping: everyone starts awake (the first quiet cycles park
+  // them) and every component reports its pushes. With skip_idle off the
+  // sinks stay null and the per-island channel lists above drive the ticks.
+  skip_idle_ = cfg.skip_idle;
+  node_awake_.assign(static_cast<std::size_t>(n), skip_idle_ ? 1 : 0);
+  if (skip_idle_) {
+    for (auto& isl : islands_) isl.active = isl.members;
+    for (auto& r : routers_) r->set_wake_sink(this);
+    for (auto& ni : nis_) ni->set_wake_sink(this);
   }
 }
 
@@ -154,21 +175,98 @@ void Network::step_island(int island, common::Picoseconds now) {
 void Network::tick_island(int island) {
   Island& isl = islands_.at(static_cast<std::size_t>(island));
   ++island_cycles_[static_cast<std::size_t>(island)];
-  for (FlitChannel* ch : isl.flit_lines) ch->tick();
-  for (FlitCdcFifo* ch : isl.cdc_flit_in) ch->tick();
-  for (CreditChannel* ch : isl.credit_lines) ch->tick();
-  for (CreditCdcFifo* ch : isl.cdc_credit_in) ch->tick();
+  if (!skip_idle_) {
+    // Always-step discipline: advance every channel this island clocks.
+    for (FlitChannel* ch : isl.flit_lines) ch->tick();
+    for (FlitCdcFifo* ch : isl.cdc_flit_in) ch->tick();
+    for (CreditChannel* ch : isl.credit_lines) ch->tick();
+    for (CreditCdcFifo* ch : isl.cdc_credit_in) ch->tick();
+    return;
+  }
+  // Skip-idle: admit nodes woken since the previous edge, then advance only
+  // the channels awake nodes read. A parked node's channels are all empty
+  // (that is the parking condition), and empty channels measure delay in
+  // reader ticks since the push, so not ticking them is unobservable.
+  if (!isl.newly_awake.empty()) admit_woken(isl);
+  isl.idle_steps_skipped +=
+      static_cast<std::uint64_t>(isl.members.size() - isl.active.size());
+  for (const NodeId id : isl.active) {
+    for (ChannelBase* ch : node_read_[static_cast<std::size_t>(id)]) ch->tick();
+  }
 }
 
 void Network::run_island_phases(int island, common::Picoseconds now) {
   Island& isl = islands_.at(static_cast<std::size_t>(island));
   const std::uint64_t cycle = island_cycles_[static_cast<std::size_t>(island)];
-  for (const NodeId id : isl.members) routers_[static_cast<std::size_t>(id)]->receive_phase();
-  for (const NodeId id : isl.members) {
+  // `active` is sorted ascending, so with skip-idle on the awake nodes are
+  // phased in exactly the order the member loops would visit them — the
+  // delivery order (and every float accumulation downstream of it) cannot
+  // tell the two disciplines apart.
+  const std::vector<NodeId>& nodes = skip_idle_ ? isl.active : isl.members;
+  for (const NodeId id : nodes) routers_[static_cast<std::size_t>(id)]->receive_phase();
+  for (const NodeId id : nodes) {
     nis_[static_cast<std::size_t>(id)]->receive_phase(now, cycle);
   }
-  for (const NodeId id : isl.members) routers_[static_cast<std::size_t>(id)]->compute_phase();
-  for (const NodeId id : isl.members) nis_[static_cast<std::size_t>(id)]->inject_phase();
+  for (const NodeId id : nodes) routers_[static_cast<std::size_t>(id)]->compute_phase();
+  for (const NodeId id : nodes) nis_[static_cast<std::size_t>(id)]->inject_phase();
+  if (skip_idle_) park_quiescent(isl);
+}
+
+void Network::wake(NodeId node) {
+  auto& awake = node_awake_[static_cast<std::size_t>(node)];
+  if (awake) return;
+  awake = 1;
+  islands_[static_cast<std::size_t>(island_of_[static_cast<std::size_t>(node)])]
+      .newly_awake.push_back(node);
+}
+
+void Network::admit_woken(Island& isl) {
+  std::sort(isl.newly_awake.begin(), isl.newly_awake.end());
+  const auto mid = static_cast<std::ptrdiff_t>(isl.active.size());
+  isl.active.insert(isl.active.end(), isl.newly_awake.begin(), isl.newly_awake.end());
+  std::inplace_merge(isl.active.begin(), isl.active.begin() + mid, isl.active.end());
+  isl.newly_awake.clear();
+}
+
+void Network::park_quiescent(Island& isl) {
+  std::size_t kept = 0;
+  for (const NodeId id : isl.active) {
+    if (node_quiescent(id)) {
+      node_awake_[static_cast<std::size_t>(id)] = 0;
+    } else {
+      isl.active[kept++] = id;
+    }
+  }
+  isl.active.resize(kept);
+}
+
+bool Network::node_quiescent(NodeId node) const {
+  const auto i = static_cast<std::size_t>(node);
+  if (routers_[i]->buffered_now() != 0) return false;
+  if (!nis_[i]->idle()) return false;
+  // Covers arriving flits, returning credits and the local inject/eject
+  // loop. A router waiting only on downstream credits is parked safely:
+  // the credit push at the downstream traversal wakes it (see traverse).
+  for (const ChannelBase* ch : node_read_[i]) {
+    if (ch->in_flight() != 0) return false;
+  }
+  return true;
+}
+
+int Network::island_active_nodes(int island) const {
+  const Island& isl = islands_.at(static_cast<std::size_t>(island));
+  return skip_idle_ ? static_cast<int>(isl.active.size())
+                    : static_cast<int>(isl.members.size());
+}
+
+std::uint64_t Network::island_idle_steps_skipped(int island) const {
+  return islands_.at(static_cast<std::size_t>(island)).idle_steps_skipped;
+}
+
+std::uint64_t Network::idle_steps_skipped() const {
+  std::uint64_t n = 0;
+  for (const Island& isl : islands_) n += isl.idle_steps_skipped;
+  return n;
 }
 
 power::ActivityCounters Network::total_activity() const {
@@ -297,8 +395,13 @@ std::uint64_t Network::island_source_backlog_flits(int island) const {
 }
 
 std::uint64_t Network::island_buffered_flits_now(int island) const {
+  // Sampled every cycle by the occupancy window. Parked nodes buffer
+  // nothing by definition, so with skip-idle on the activity list is the
+  // exact support of this sum — O(awake) instead of O(members).
+  const Island& isl = islands_.at(static_cast<std::size_t>(island));
+  const std::vector<NodeId>& nodes = skip_idle_ ? isl.active : isl.members;
   std::uint64_t n = 0;
-  for (const NodeId id : island_members(island)) {
+  for (const NodeId id : nodes) {
     n += static_cast<std::uint64_t>(routers_[static_cast<std::size_t>(id)]->buffered_now());
   }
   return n;

@@ -47,11 +47,21 @@ struct NetworkConfig {
   /// cycles (applies to flits and returning credits alike).
   int cdc_sync_cycles = 2;
 
+  /// Skip router/NI phases and channel ticks for quiescent nodes (empty
+  /// buffers, idle NI, nothing in flight on any channel the node reads).
+  /// Bit-identical to always-stepping — the golden-metrics suite gates
+  /// that — but far cheaper at low load. `false` restores the
+  /// step-everything discipline (the in-tree comparison path).
+  bool skip_idle = true;
+
   int num_nodes() const noexcept { return width * height; }
   int num_islands() const noexcept;
 };
 
-class Network {
+/// Implements WakeSink: routers and NIs report every push towards another
+/// node's inputs, which is what keeps the per-island activity lists exact
+/// without any per-cycle scan.
+class Network : public WakeSink {
  public:
   explicit Network(const NetworkConfig& cfg);
 
@@ -97,6 +107,24 @@ class Network {
   }
   /// Directed inter-router links that cross an island boundary.
   int num_boundary_links() const noexcept { return num_boundary_links_; }
+
+  // --- skip-idle stepping (see NetworkConfig::skip_idle) ---
+  bool skip_idle() const noexcept { return skip_idle_; }
+  /// Nodes on island `island`'s activity list right now (== members when
+  /// skip_idle is off).
+  int island_active_nodes(int island) const;
+  /// Router/NI step pairs elided since construction on one island / in
+  /// total: each cycle an island advances, every member *not* on its
+  /// activity list counts one skipped step. Always 0 with skip_idle off —
+  /// the quiescence property tests key on this being large and exact.
+  std::uint64_t island_idle_steps_skipped(int island) const;
+  std::uint64_t idle_steps_skipped() const;
+
+  /// WakeSink: put `node` on its island's activity list at that island's
+  /// next clock edge (no-op while the node is already awake). Routers/NIs
+  /// call this on every push towards `node`; external traffic sources may
+  /// call it directly.
+  void wake(NodeId node) override;
 
   NetworkInterface& ni(NodeId node) { return *nis_.at(static_cast<std::size_t>(node)); }
   const NetworkInterface& ni(NodeId node) const {
@@ -156,12 +184,30 @@ class Network {
     std::vector<FlitCdcFifo*> cdc_flit_in;     ///< boundary flit fifos this island reads
     std::vector<CreditCdcFifo*> cdc_credit_in; ///< boundary credit fifos this island reads
     int links_sourced = 0;  ///< directed inter-router links driven by this island
+
+    // Skip-idle state. `active` is kept sorted ascending so the phase loops
+    // visit awake nodes in exactly the member order — the delivered-record
+    // sequence (and with it every order-sensitive float accumulation in the
+    // metrics layer) is bit-identical to stepping everyone. `newly_awake`
+    // absorbs wake() calls between this island's edges and is merged in at
+    // the next tick; parking happens after the phases of the same cycle
+    // that drained a node. No per-cycle membership scan anywhere.
+    std::vector<NodeId> active;
+    std::vector<NodeId> newly_awake;
+    std::uint64_t idle_steps_skipped = 0;
   };
 
   FlitChannel& new_flit_channel(int latency, int island);
   CreditChannel& new_credit_channel(int latency, int island);
   FlitCdcFifo& new_cdc_flit_channel(int ready_delay, int reader_island);
   CreditCdcFifo& new_cdc_credit_channel(int ready_delay, int reader_island);
+
+  /// Sorted-merge `newly_awake` into `active` (amortized O(new·log new)).
+  void admit_woken(Island& isl);
+  /// Drop nodes that ended the cycle with no work anywhere: empty router
+  /// buffers, idle NI, nothing in flight on any channel the node reads.
+  void park_quiescent(Island& isl);
+  bool node_quiescent(NodeId node) const;
 
   NetworkConfig cfg_;
   MeshTopology topo_;
@@ -178,6 +224,15 @@ class Network {
   std::vector<Island> islands_;
   std::vector<std::uint64_t> island_cycles_;
   int num_boundary_links_ = 0;
+
+  bool skip_idle_ = true;
+  std::vector<std::uint8_t> node_awake_;  ///< on an active or newly_awake list
+  /// Per node: every channel popped in that node's clock domain (its
+  /// router's flit/credit inputs plus its NI's eject/credit inputs). The
+  /// skip-idle tick advances exactly these for awake nodes — eliding the
+  /// tick of a parked node's empty channels is unobservable because both
+  /// channel kinds delay in reader ticks *since the push* (see ChannelBase).
+  std::vector<std::vector<ChannelBase*>> node_read_;
 };
 
 }  // namespace nocdvfs::noc

@@ -44,6 +44,7 @@ void NetworkInterface::enqueue_packet(NodeId dst, int size_flits,
   source_queue_.push_back(p);
   ++packets_generated_;
   flits_generated_ += static_cast<std::uint64_t>(size_flits);
+  if (wake_ != nullptr) wake_->wake(node_);
   if (injection_observer_) (*injection_observer_)(node_, dst, size_flits, traffic_class);
 }
 

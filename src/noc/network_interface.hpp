@@ -69,6 +69,16 @@ class NetworkInterface {
     injection_observer_ = observer;
   }
 
+  /// Install the skip-idle wake receiver (nullptr = no notifications).
+  /// `enqueue_packet` runs in the *node* clock domain while the NoC side
+  /// of this node may be parked, so it must announce the new work.
+  void set_wake_sink(WakeSink* sink) noexcept { wake_ = sink; }
+
+  /// No packet being serialized and nothing queued — the NI contributes no
+  /// NoC-domain work (reassembly in progress keeps the node awake through
+  /// the flits still buffered upstream, not through this predicate).
+  bool idle() const noexcept { return !sending_ && source_queue_.empty(); }
+
   // --- measurement accessors (monotone counters) ---
   std::uint64_t packets_generated() const noexcept { return packets_generated_; }
   std::uint64_t flits_generated() const noexcept { return flits_generated_; }
@@ -98,6 +108,7 @@ class NetworkInterface {
   NiConfig cfg_;
   std::vector<PacketRecord>* delivered_sink_;
   const InjectionObserver* injection_observer_ = nullptr;
+  WakeSink* wake_ = nullptr;
 
   FlitPort* inject_out_ = nullptr;
   CreditPort* inject_credit_in_ = nullptr;

@@ -27,6 +27,9 @@ Router::Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg)
     in_[p].vcs.reserve(static_cast<std::size_t>(cfg.num_vcs));
     for (int v = 0; v < cfg.num_vcs; ++v) in_[p].vcs.emplace_back(cfg.vc_buffer_depth);
     out_[p].vcs.assign(static_cast<std::size_t>(cfg.num_vcs), OutputVc{});
+    const PortDir dir = port_dir(p);
+    port_peer_[static_cast<std::size_t>(p)] =
+        (dir != PortDir::Local && topo.has_neighbor(id, dir)) ? topo.neighbor(id, dir) : id;
   }
 }
 
@@ -173,6 +176,14 @@ void Router::traverse(int in_port, int in_vc) {
   // Freed buffer slot: credit flows back to the upstream sender.
   NOCDVFS_ASSERT(ip.credit_out != nullptr, "dequeue from port without credit channel");
   ip.credit_out->push(Credit{static_cast<std::uint8_t>(in_vc)});
+
+  if (wake_ != nullptr) {
+    // Both pushes target another clock domain's inputs: the flit wakes the
+    // downstream node, the credit the upstream one (the only mechanism by
+    // which a drained-but-credit-starved router ever resumes).
+    wake_->wake(port_peer_[static_cast<std::size_t>(ivc.out_port)]);
+    wake_->wake(port_peer_[static_cast<std::size_t>(in_port)]);
+  }
 
   if (flit.tail) {
     ovc.allocated = false;

@@ -61,6 +61,12 @@ class Router {
   /// Wire one output port: outgoing flits and the incoming credit channel.
   void connect_output(PortDir port, FlitPort* flit_out, CreditPort* credit_in);
 
+  /// Install the skip-idle wake receiver (nullptr = no notifications).
+  /// Each flit/credit push in `traverse` then wakes the node that reads
+  /// the far end of that channel — the mesh neighbour behind the port, or
+  /// this node itself for Local.
+  void set_wake_sink(WakeSink* sink) noexcept { wake_ = sink; }
+
   /// Phase 1 of a network cycle: latch arriving credits and flits.
   void receive_phase();
   /// Phase 2: SA+ST, then VA, then RC (reverse pipeline order).
@@ -141,6 +147,12 @@ class Router {
 
   std::vector<int> wired_in_;   ///< indices of connected input ports
   std::vector<int> wired_out_;  ///< indices of connected output ports
+
+  WakeSink* wake_ = nullptr;
+  /// Per port: the node whose clock reads channels behind it (the mesh
+  /// neighbour, or this node for Local) — precomputed so wake-on-push is
+  /// a table lookup, not a topology query.
+  std::array<NodeId, kMeshPorts> port_peer_{};
 };
 
 }  // namespace nocdvfs::noc

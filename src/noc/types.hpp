@@ -50,6 +50,21 @@ constexpr const char* port_name(PortDir d) noexcept {
   return "?";
 }
 
+/// Receiver of node wake-up notifications — implemented by the Network's
+/// skip-idle stepping. Routers and NIs call `wake(target)` whenever they
+/// push an item towards `target`'s clock-domain inputs (a flit downstream,
+/// a credit upstream, a packet into a source queue), so a quiescent node
+/// rejoins the activity list at its very next clock edge. Wiring is
+/// optional: an unwired component (unit tests, skip_idle=false) pays one
+/// null-pointer branch per push.
+class WakeSink {
+ public:
+  virtual void wake(NodeId node) = 0;
+
+ protected:
+  ~WakeSink() = default;
+};
+
 /// One flow-control unit. Flits carry enough context (src/dst/timestamps)
 /// to be self-describing at the ejection side; this mirrors the paper's
 /// note that delay measurement only needs a timestamp in the head flit.

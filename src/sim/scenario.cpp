@@ -341,6 +341,8 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
   c.declare_int("vcs", d.network.num_vcs, "virtual channels per port");
   c.declare_int("bufs", d.network.vc_buffer_depth, "flit buffers per VC");
   c.declare_int("link_latency", d.network.link_latency, "inter-router link cycles");
+  c.declare_bool("skip_idle", d.skip_idle,
+                 "skip quiescent routers/NIs in the stepping hot path (metrics-invisible)");
   c.declare_int("packet", d.packet_size, "flits per packet");
 
   c.declare("policy", to_string(d.policy.policy), "nodvfs|rmsd|rmsd-closed|dmsd|qbsd");
@@ -408,6 +410,7 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.network.num_vcs = static_cast<int>(c.get_int("vcs"));
   s.network.vc_buffer_depth = static_cast<int>(c.get_int("bufs"));
   s.network.link_latency = static_cast<int>(c.get_int("link_latency"));
+  s.skip_idle = c.get_bool("skip_idle");
   s.packet_size = static_cast<int>(c.get_int("packet"));
 
   s.policy.policy = policy_from_string(c.get_string("policy"));
@@ -477,6 +480,7 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
       build_island_map(s, sim_cfg.network.width, sim_cfg.network.height);
   if (map.num_islands() > 1) sim_cfg.network.island_of = map.assignment();
   sim_cfg.network.cdc_sync_cycles = s.cdc_sync_cycles;
+  sim_cfg.network.skip_idle = s.skip_idle;
 
   return std::make_unique<Simulator>(sim_cfg, std::move(traffic_model),
                                      make_island_controllers(s, map.num_islands()),

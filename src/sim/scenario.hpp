@@ -114,6 +114,10 @@ struct Scenario {
 
   // --- platform ---
   noc::NetworkConfig network{};  ///< defaults: 5×5, 8 VCs, 4 flits/VC, XY
+  /// Skip quiescent routers/NIs in the stepping hot path (see
+  /// noc::NetworkConfig::skip_idle). Metrics-invisible; `false` forces the
+  /// always-step discipline for A/B comparison and perf attribution.
+  bool skip_idle = true;
   int packet_size = 20;          ///< flits per packet
   PolicyConfig policy{};
   std::uint64_t control_period = 10000;  ///< node cycles (paper: 10 000)

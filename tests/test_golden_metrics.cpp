@@ -1,0 +1,184 @@
+// Golden bit-identity suite — the in-tree form of the hexfloat-diff
+// discipline PRs 4–5 ran only in CI: a fixed-seed scenario matrix
+// (policy × pattern × island layout × thermal) is executed and every
+// headline RunResult metric is compared *textually* against a checked-in
+// golden file, doubles rendered as hexfloat so the comparison is exact to
+// the last bit. Any rewrite of the simulator hot path (skip-idle stepping,
+// storage layouts, batching) must reproduce this file bit-for-bit.
+//
+// Regenerating the golden (one command, from the repo root):
+//
+//   NOCDVFS_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics
+//
+// which rewrites tests/golden/golden_metrics.txt in the source tree.
+// Regeneration is only legitimate when the *simulated behaviour* is meant
+// to change (new subsystem defaults, a physics fix); a perf-only PR that
+// needs it has a correctness bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+#ifndef NOCDVFS_GOLDEN_DIR
+#error "NOCDVFS_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace nocdvfs::sim {
+namespace {
+
+constexpr const char* kGoldenPath = NOCDVFS_GOLDEN_DIR "/golden_metrics.txt";
+
+/// The fixed-seed scenario matrix. Short fixed phases (no adaptive warmup)
+/// keep the whole matrix a few seconds while still exercising every
+/// policy's control loop, the quadrant island partition (CDC crossings and
+/// per-island control), and the thermal subsystem's feedback path.
+std::vector<Scenario> golden_matrix() {
+  std::vector<Scenario> out;
+  for (const Policy policy : {Policy::NoDvfs, Policy::Rmsd, Policy::Dmsd, Policy::Qbsd}) {
+    for (const char* pattern : {"hotspot", "transpose"}) {
+      for (const char* islands : {"global", "quadrants"}) {
+        for (const bool thermal : {false, true}) {
+          Scenario s;
+          s.pattern = pattern;
+          s.lambda = 0.15;
+          s.packet_size = 20;
+          s.network.width = 5;
+          s.network.height = 5;
+          s.policy.policy = policy;
+          s.islands = islands;
+          s.thermal = thermal;
+          s.seed = 1;
+          s.control_period = 5000;
+          s.phases.warmup_node_cycles = 20000;
+          s.phases.measure_node_cycles = 20000;
+          s.phases.adaptive_warmup = false;
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string scenario_name(const Scenario& s) {
+  std::string name = to_string(s.policy.policy);
+  name += '-';
+  name += s.pattern;
+  name += '-';
+  name += s.islands;
+  name += s.thermal ? "-thermal" : "-cold";
+  return name;
+}
+
+/// One scenario's headline metrics as a single text line: doubles in
+/// hexfloat (exact), counters in decimal. The golden file is these lines
+/// in matrix order.
+std::string metrics_line(const std::string& name, const RunResult& r) {
+  std::ostringstream os;
+  os << name << std::hexfloat;
+  os << " packets=" << r.packets_delivered;
+  os << " avg_delay_ns=" << r.avg_delay_ns;
+  os << " min_delay_ns=" << r.min_delay_ns;
+  os << " max_delay_ns=" << r.max_delay_ns;
+  os << " p50=" << r.p50_delay_ns;
+  os << " p95=" << r.p95_delay_ns;
+  os << " p99=" << r.p99_delay_ns;
+  os << " latency_cycles=" << r.avg_latency_cycles;
+  os << " hops=" << r.avg_hops;
+  os << " offered=" << r.measured_offered_lambda;
+  os << " thr_node=" << r.delivered_flits_per_node_cycle;
+  os << " thr_noc=" << r.delivered_flits_per_noc_cycle;
+  os << " occupancy=" << r.avg_buffer_occupancy;
+  os << " f_avg=" << r.avg_frequency_hz;
+  os << " v_avg=" << r.avg_voltage;
+  os << " f_final=" << r.final_frequency_hz;
+  os << " datapath_j=" << r.power.datapath_j;
+  os << " clock_j=" << r.power.clock_j;
+  os << " leakage_j=" << r.power.leakage_j;
+  os << " epb_pj=" << r.energy_per_bit_pj;
+  os << " edp_js=" << r.energy_delay_product_js;
+  os << " noc_cycles=" << r.measure_noc_cycles;
+  os << " backlog=" << r.backlog_growth_flits;
+  os << " saturated=" << (r.saturated ? 1 : 0);
+  os << " peak_temp_c=" << r.thermal.peak_temp_c;
+  os << " throttle_res=" << r.thermal.throttle_residency;
+  return os.str();
+}
+
+std::vector<std::string> compute_lines() {
+  std::vector<std::string> lines;
+  for (const Scenario& s : golden_matrix()) {
+    lines.push_back(metrics_line(scenario_name(s), run(s)));
+  }
+  return lines;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+bool update_mode() {
+  const char* v = std::getenv("NOCDVFS_UPDATE_GOLDEN");
+  return v != nullptr && std::string(v) != "0";
+}
+
+TEST(GoldenMetrics, MatrixMatchesCheckedInGolden) {
+  const std::vector<std::string> fresh = compute_lines();
+
+  if (update_mode()) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out) << "cannot write golden file " << kGoldenPath;
+    for (const std::string& line : fresh) out << line << '\n';
+    std::cout << "[golden] wrote " << fresh.size() << " scenario lines to " << kGoldenPath
+              << "\n";
+    return;
+  }
+
+  const std::vector<std::string> golden = read_lines(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "golden file missing or empty: " << kGoldenPath
+      << "\nregenerate with: NOCDVFS_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics";
+  ASSERT_EQ(golden.size(), fresh.size()) << "scenario matrix size changed; regenerate the "
+                                            "golden if the change is intentional";
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(golden[i], fresh[i])
+        << "headline metrics diverged from the golden (scenario " << i
+        << "). If this PR was meant to be metrics-preserving this is a bug; if the "
+           "behaviour change is intentional, regenerate with NOCDVFS_UPDATE_GOLDEN=1.";
+  }
+}
+
+/// The always-step escape hatch must be metrically invisible: a
+/// representative slice of the matrix re-run with skip_idle=false (the
+/// pre-optimization stepping discipline) produces byte-identical headline
+/// lines. This is the in-tree gate that the activity-list hot path is an
+/// optimization, not a behaviour change.
+TEST(GoldenMetrics, SkipIdleOffIsBitIdentical) {
+  const std::vector<Scenario> matrix = golden_matrix();
+  // One scenario per policy, covering both island layouts and thermal on.
+  for (const std::size_t i : {0u, 7u, 17u, 22u, 30u}) {
+    ASSERT_LT(i, matrix.size());
+    Scenario on = matrix[i];
+    Scenario off = matrix[i];
+    on.skip_idle = true;
+    off.skip_idle = false;
+    const std::string name = scenario_name(on);
+    EXPECT_EQ(metrics_line(name, run(on)), metrics_line(name, run(off)))
+        << "skip-idle stepping diverged from the always-step path for " << name;
+  }
+}
+
+}  // namespace
+}  // namespace nocdvfs::sim

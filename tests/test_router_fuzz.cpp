@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "noc/channel.hpp"
+#include "noc/network.hpp"
 #include "noc/router.hpp"
 
 namespace nocdvfs::noc {
@@ -143,6 +144,105 @@ TEST_P(RouterFuzz, CreditLoopConservesAndDeliversInOrder) {
   }
   EXPECT_EQ(packets_done, kPackets) << "fuzz run failed to deliver all packets";
 }
+
+// --- skip-idle activity-list fuzz -----------------------------------------
+//
+// Bursty on/off traffic over a whole mesh, in lockstep against the
+// always-step discipline. The on/off envelope repeatedly drives nodes
+// into quiescence and drags them back out — including routers that parked
+// while credit-starved and can only re-activate through the credit push of
+// a downstream traversal. Properties checked:
+//
+//   * conservation every cycle: generated == ejected + in-network + backlog;
+//   * no stuck router: everything injected is eventually delivered;
+//   * bit-identity: the skip-idle net's delivery stream matches always-step.
+
+struct ActivityFuzzParams {
+  int width;
+  int height;
+  int packet_size;  ///< > vc_buffer_depth forces multi-router credit stalls
+  std::uint64_t seed;
+};
+
+class ActivityFuzz : public ::testing::TestWithParam<ActivityFuzzParams> {};
+
+TEST_P(ActivityFuzz, BurstyOnOffConservesAndMatchesAlwaysStep) {
+  const auto [width, height, packet_size, seed] = GetParam();
+  NetworkConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.num_vcs = 2;
+  cfg.vc_buffer_depth = 2;  // shallow: credit backpressure everywhere
+  cfg.skip_idle = true;
+  NetworkConfig cfg_off = cfg;
+  cfg_off.skip_idle = false;
+  Network on(cfg);
+  Network off(cfg_off);
+
+  common::Rng rng(seed);
+  const int n = cfg.num_nodes();
+  bool burst = false;
+  int phase_left = 0;
+  std::uint64_t generated_packets = 0;
+
+  const std::uint64_t active_cycles = 4000;
+  const std::uint64_t drain_cycles = 4000;
+  for (std::uint64_t c = 1; c <= active_cycles + drain_cycles; ++c) {
+    if (c <= active_cycles) {
+      if (phase_left == 0) {
+        // Alternate bursts (5..40 cycles) and silences (20..120 cycles) —
+        // silences long enough for the whole mesh to park mid-run.
+        burst = !burst;
+        phase_left = burst ? 5 + static_cast<int>(rng.uniform_below(36))
+                           : 20 + static_cast<int>(rng.uniform_below(101));
+      }
+      --phase_left;
+      if (burst && rng.bernoulli(0.7)) {
+        const auto src = static_cast<NodeId>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+        const auto dst = static_cast<NodeId>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+        const auto now = static_cast<common::Picoseconds>(c) * 1000;
+        on.ni(src).enqueue_packet(dst, packet_size, now, c);
+        off.ni(src).enqueue_packet(dst, packet_size, now, c);
+        ++generated_packets;
+      }
+    }
+    on.step(static_cast<common::Picoseconds>(c) * 1000);
+    off.step(static_cast<common::Picoseconds>(c) * 1000);
+
+    // Conservation on the skip-idle network, every cycle: no flit may be
+    // lost in a parked corner of the mesh.
+    ASSERT_EQ(on.total_flits_generated(),
+              on.total_flits_ejected() + on.flits_in_network() +
+                  on.total_source_backlog_flits())
+        << "conservation violated at cycle " << c;
+  }
+
+  // No stuck router: the silence tail drains everything.
+  EXPECT_EQ(on.total_packets_ejected(), generated_packets);
+  EXPECT_EQ(on.flits_in_network(), 0u);
+  EXPECT_EQ(on.island_active_nodes(0), 0);
+
+  // Bit-identity against the always-step discipline, packet by packet.
+  ASSERT_EQ(on.delivered().size(), off.delivered().size());
+  for (std::size_t i = 0; i < on.delivered().size(); ++i) {
+    const PacketRecord& pa = on.delivered()[i];
+    const PacketRecord& pb = off.delivered()[i];
+    ASSERT_EQ(pa.packet_id, pb.packet_id) << "record " << i;
+    ASSERT_EQ(pa.eject_noc_cycle, pb.eject_noc_cycle) << "record " << i;
+    ASSERT_EQ(pa.hops, pb.hops) << "record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, ActivityFuzz,
+                         ::testing::Values(ActivityFuzzParams{4, 4, 5, 21},
+                                           ActivityFuzzParams{6, 6, 9, 22},
+                                           ActivityFuzzParams{5, 3, 13, 23}),
+                         [](const ::testing::TestParamInfo<ActivityFuzzParams>& info) {
+                           return std::to_string(info.param.width) + "x" +
+                                  std::to_string(info.param.height) + "_p" +
+                                  std::to_string(info.param.packet_size) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
 
 INSTANTIATE_TEST_SUITE_P(Shapes, RouterFuzz,
                          ::testing::Values(FuzzParams{1, 1, 11}, FuzzParams{2, 2, 12},
