@@ -8,17 +8,17 @@
 
 namespace nocdvfs::common {
 
-/// Split on commas, preserving empty tokens ("a,,b" → {"a","","b"});
-/// an empty input yields an empty vector.
-inline std::vector<std::string> split_csv(const std::string& text) {
+/// Split on `sep` (comma by default), preserving empty tokens
+/// ("a,,b" → {"a","","b"}); an empty input yields an empty vector.
+inline std::vector<std::string> split_csv(const std::string& text, char sep = ',') {
   std::vector<std::string> out;
   if (text.empty()) return out;
   std::size_t pos = 0;
   while (pos <= text.size()) {
-    const std::size_t comma = std::min(text.find(',', pos), text.size());
-    out.push_back(text.substr(pos, comma - pos));
-    if (comma == text.size()) break;
-    pos = comma + 1;
+    const std::size_t cut = std::min(text.find(sep, pos), text.size());
+    out.push_back(text.substr(pos, cut - pos));
+    if (cut == text.size()) break;
+    pos = cut + 1;
   }
   return out;
 }

@@ -15,7 +15,10 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
   if (cfg.cdc_sync_cycles < 0) {
     throw std::invalid_argument("Network: cdc_sync_cycles must be >= 0");
   }
-  const int n = topo_.num_nodes();
+  // Physical structure (validates width/height/concentration per kind).
+  topol_ = topo::Topology::make(cfg.topology, cfg.width, cfg.height, cfg.concentration);
+  const int n = topol_->num_nodes();
+  const int num_r = topol_->num_routers();
 
   // Resolve the island partition (empty config = one global island) and
   // validate it the same way vfi::IslandMap does: contiguous non-empty ids.
@@ -43,6 +46,36 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
     }
   }
 
+  // Tiles: the NIs behind each router, in ascending node order (which is
+  // also local-port order — Topology guarantees it). A clock island may
+  // not split a tile: the router and all its NIs share one domain.
+  tile_nis_.resize(static_cast<std::size_t>(num_r));
+  for (NodeId id = 0; id < n; ++id) {
+    tile_nis_[static_cast<std::size_t>(topol_->router_of(id))].push_back(id);
+  }
+  router_island_.resize(static_cast<std::size_t>(num_r));
+  for (int r = 0; r < num_r; ++r) {
+    const auto& members = tile_nis_[static_cast<std::size_t>(r)];
+    const int isl = island_of_[static_cast<std::size_t>(members.front())];
+    for (const NodeId id : members) {
+      if (island_of_[static_cast<std::size_t>(id)] != isl) {
+        throw std::invalid_argument(
+            "Network: island partition splits tile " + std::to_string(r) +
+            " (a router and all its NIs must share one island)");
+      }
+    }
+    router_island_[static_cast<std::size_t>(r)] = isl;
+    islands_[static_cast<std::size_t>(isl)].tiles.push_back(r);
+  }
+
+  // Routing engine (validates the VC budget against the class discipline)
+  // and, when requested, the fault model.
+  engine_ = std::make_unique<topo::RoutingEngine>(*topol_, cfg.routing, cfg.num_vcs);
+  if (!topo::FaultModel::spec_is_off(cfg.faults)) {
+    faults_ = std::make_unique<topo::FaultModel>(*topol_, cfg.faults, cfg.fault_seed);
+    engine_->set_fault_model(faults_.get());
+  }
+
   RouterConfig rcfg;
   rcfg.num_vcs = cfg.num_vcs;
   rcfg.vc_buffer_depth = cfg.vc_buffer_depth;
@@ -52,28 +85,34 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
   ncfg.num_vcs = cfg.num_vcs;
   ncfg.vc_buffer_depth = cfg.vc_buffer_depth;
 
-  routers_.reserve(static_cast<std::size_t>(n));
+  routers_.reserve(static_cast<std::size_t>(num_r));
+  for (int r = 0; r < num_r; ++r) {
+    routers_.push_back(std::make_unique<Router>(r, topol_->radix(r), rcfg));
+    routers_.back()->set_routing_engine(engine_.get());
+    routers_.back()->set_first_local_port(topol_->num_net_ports(r));
+  }
   nis_.reserve(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
-    routers_.push_back(std::make_unique<Router>(id, topo_, rcfg));
     nis_.push_back(std::make_unique<NetworkInterface>(id, ncfg, &delivered_));
+    nis_.back()->set_wake_id(topol_->router_of(id));
   }
 
   // Inter-router links: one flit channel and one reverse credit channel per
-  // directed edge. Wire East/North from each node towards its neighbor; the
-  // opposite direction is wired when visiting the neighbor. A link whose
+  // directed edge, wired in ascending (router, port) order — on the mesh
+  // this replays the historical node/direction order exactly. A link whose
   // endpoints live in different islands becomes a CDC fifo pair: the flit
   // fifo is read (and therefore clocked) by the receiver's island, the
-  // credit fifo by the sender's. Each channel is also indexed by the node
-  // that pops it — flits by the downstream node, credits by the upstream —
-  // which is the per-node tick/quiescence set of the skip-idle path.
-  node_read_.resize(static_cast<std::size_t>(n));
-  for (NodeId id = 0; id < n; ++id) {
-    const int src_island = island_of_[static_cast<std::size_t>(id)];
-    for (PortDir dir : {PortDir::North, PortDir::East, PortDir::South, PortDir::West}) {
-      if (!topo_.has_neighbor(id, dir)) continue;
-      const NodeId nb = topo_.neighbor(id, dir);
-      const int dst_island = island_of_[static_cast<std::size_t>(nb)];
+  // credit fifo by the sender's. Each channel is also indexed by the tile
+  // that pops it — flits by the downstream tile, credits by the upstream —
+  // which is the per-tile tick/quiescence set of the skip-idle path.
+  node_read_.resize(static_cast<std::size_t>(num_r));
+  for (int r = 0; r < num_r; ++r) {
+    const int src_island = router_island_[static_cast<std::size_t>(r)];
+    const int net_ports = topol_->num_net_ports(r);
+    for (int p = 0; p < net_ports; ++p) {
+      const topo::PortPeer far = topol_->peer(r, p);
+      if (!far.valid()) continue;
+      const int dst_island = router_island_[static_cast<std::size_t>(far.router)];
       islands_[static_cast<std::size_t>(src_island)].links_sourced += 1;
       FlitPort* flit_ch = nullptr;
       CreditPort* credit_ch = nullptr;
@@ -86,44 +125,65 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
                                         dst_island);
         credit_ch = &new_cdc_credit_channel(1 + cfg.cdc_sync_cycles, src_island);
       }
-      routers_[static_cast<std::size_t>(id)]->connect_output(dir, flit_ch, credit_ch);
-      routers_[static_cast<std::size_t>(nb)]->connect_input(opposite(dir), flit_ch, credit_ch);
-      node_read_[static_cast<std::size_t>(nb)].push_back(flit_ch);
-      node_read_[static_cast<std::size_t>(id)].push_back(credit_ch);
+      routers_[static_cast<std::size_t>(r)]->connect_output(p, flit_ch, credit_ch);
+      routers_[static_cast<std::size_t>(far.router)]->connect_input(far.port, flit_ch,
+                                                                    credit_ch);
+      routers_[static_cast<std::size_t>(r)]->set_port_peer(p, far.router);
+      node_read_[static_cast<std::size_t>(far.router)].push_back(flit_ch);
+      node_read_[static_cast<std::size_t>(r)].push_back(credit_ch);
     }
   }
 
   // Local ports: injection (NI -> router) and ejection (router -> NI);
-  // always intra-island, so all four channels belong to node `id`'s set.
+  // always intra-island, so all four channels belong to the NI's tile.
   for (NodeId id = 0; id < n; ++id) {
+    const int r = topol_->router_of(id);
+    const int lp = topol_->local_port(id);
     const int isl = island_of_[static_cast<std::size_t>(id)];
     auto& inject_flit = new_flit_channel(1, isl);
     auto& inject_credit = new_credit_channel(1, isl);
     auto& eject_flit = new_flit_channel(1, isl);
     auto& eject_credit = new_credit_channel(1, isl);
-    routers_[static_cast<std::size_t>(id)]->connect_input(PortDir::Local, &inject_flit,
-                                                          &inject_credit);
-    routers_[static_cast<std::size_t>(id)]->connect_output(PortDir::Local, &eject_flit,
-                                                           &eject_credit);
+    routers_[static_cast<std::size_t>(r)]->connect_input(lp, &inject_flit, &inject_credit);
+    routers_[static_cast<std::size_t>(r)]->connect_output(lp, &eject_flit, &eject_credit);
     nis_[static_cast<std::size_t>(id)]->connect(&inject_flit, &inject_credit, &eject_flit,
                                                 &eject_credit);
-    auto& reads = node_read_[static_cast<std::size_t>(id)];
+    auto& reads = node_read_[static_cast<std::size_t>(r)];
     reads.push_back(&inject_flit);
     reads.push_back(&inject_credit);
     reads.push_back(&eject_flit);
     reads.push_back(&eject_credit);
   }
 
-  // Skip-idle stepping: everyone starts awake (the first quiet cycles park
-  // them) and every component reports its pushes. With skip_idle off the
-  // sinks stay null and the per-island channel lists above drive the ticks.
+  // Skip-idle stepping: every tile starts awake (the first quiet cycles
+  // park them) and every component reports its pushes. With skip_idle off
+  // the sinks stay null and the per-island channel lists above drive the
+  // ticks.
   skip_idle_ = cfg.skip_idle;
-  node_awake_.assign(static_cast<std::size_t>(n), skip_idle_ ? 1 : 0);
+  node_awake_.assign(static_cast<std::size_t>(num_r), skip_idle_ ? 1 : 0);
   if (skip_idle_) {
-    for (auto& isl : islands_) isl.active = isl.members;
+    for (auto& isl : islands_) isl.active = isl.tiles;
     for (auto& r : routers_) r->set_wake_sink(this);
     for (auto& ni : nis_) ni->set_wake_sink(this);
   }
+
+  // Fault bring-up: the enqueue-time delivery check, plus any events due
+  // before the first cycle (at-start failures).
+  if (faults_) {
+    reachable_fn_ = [this](NodeId src, NodeId dst) { return engine_->reachable(src, dst); };
+    for (auto& ni : nis_) ni->set_reachability(&reachable_fn_);
+    if (faults_->due(0)) apply_due_faults(0);
+    fault_pending_ = faults_->has_pending();
+  }
+}
+
+void Network::apply_due_faults(std::uint64_t cycle) {
+  faults_->advance_to(cycle);
+  engine_->rebuild_tables();
+  if (engine_->hook_active()) {
+    for (auto& r : routers_) r->set_traverse_hook(true);
+  }
+  fault_pending_ = faults_->has_pending();
 }
 
 FlitChannel& Network::new_flit_channel(int latency, int island) {
@@ -183,13 +243,13 @@ void Network::tick_island(int island) {
     for (CreditCdcFifo* ch : isl.cdc_credit_in) ch->tick();
     return;
   }
-  // Skip-idle: admit nodes woken since the previous edge, then advance only
-  // the channels awake nodes read. A parked node's channels are all empty
+  // Skip-idle: admit tiles woken since the previous edge, then advance only
+  // the channels awake tiles read. A parked tile's channels are all empty
   // (that is the parking condition), and empty channels measure delay in
   // reader ticks since the push, so not ticking them is unobservable.
   if (!isl.newly_awake.empty()) admit_woken(isl);
   isl.idle_steps_skipped +=
-      static_cast<std::uint64_t>(isl.members.size() - isl.active.size());
+      static_cast<std::uint64_t>(isl.tiles.size() - isl.active.size());
   for (const NodeId id : isl.active) {
     for (ChannelBase* ch : node_read_[static_cast<std::size_t>(id)]) ch->tick();
   }
@@ -198,26 +258,35 @@ void Network::tick_island(int island) {
 void Network::run_island_phases(int island, common::Picoseconds now) {
   Island& isl = islands_.at(static_cast<std::size_t>(island));
   const std::uint64_t cycle = island_cycles_[static_cast<std::size_t>(island)];
-  // `active` is sorted ascending, so with skip-idle on the awake nodes are
-  // phased in exactly the order the member loops would visit them — the
+  // Fault epochs are keyed to island 0's clock; fire them before the
+  // phases of the cycle they are due.
+  if (fault_pending_ && island == 0 && faults_->due(cycle)) apply_due_faults(cycle);
+  // `active` is sorted ascending, so with skip-idle on the awake tiles are
+  // phased in exactly the order the tile loops would visit them — the
   // delivery order (and every float accumulation downstream of it) cannot
   // tell the two disciplines apart.
-  const std::vector<NodeId>& nodes = skip_idle_ ? isl.active : isl.members;
-  for (const NodeId id : nodes) routers_[static_cast<std::size_t>(id)]->receive_phase();
-  for (const NodeId id : nodes) {
-    nis_[static_cast<std::size_t>(id)]->receive_phase(now, cycle);
+  const std::vector<NodeId>& tiles = skip_idle_ ? isl.active : isl.tiles;
+  for (const NodeId t : tiles) routers_[static_cast<std::size_t>(t)]->receive_phase();
+  for (const NodeId t : tiles) {
+    for (const NodeId nd : tile_nis_[static_cast<std::size_t>(t)]) {
+      nis_[static_cast<std::size_t>(nd)]->receive_phase(now, cycle);
+    }
   }
-  for (const NodeId id : nodes) routers_[static_cast<std::size_t>(id)]->compute_phase();
-  for (const NodeId id : nodes) nis_[static_cast<std::size_t>(id)]->inject_phase();
+  for (const NodeId t : tiles) routers_[static_cast<std::size_t>(t)]->compute_phase();
+  for (const NodeId t : tiles) {
+    for (const NodeId nd : tile_nis_[static_cast<std::size_t>(t)]) {
+      nis_[static_cast<std::size_t>(nd)]->inject_phase();
+    }
+  }
   if (skip_idle_) park_quiescent(isl);
 }
 
-void Network::wake(NodeId node) {
-  auto& awake = node_awake_[static_cast<std::size_t>(node)];
+void Network::wake(NodeId tile) {
+  auto& awake = node_awake_[static_cast<std::size_t>(tile)];
   if (awake) return;
   awake = 1;
-  islands_[static_cast<std::size_t>(island_of_[static_cast<std::size_t>(node)])]
-      .newly_awake.push_back(node);
+  islands_[static_cast<std::size_t>(router_island_[static_cast<std::size_t>(tile)])]
+      .newly_awake.push_back(tile);
 }
 
 void Network::admit_woken(Island& isl) {
@@ -231,7 +300,7 @@ void Network::admit_woken(Island& isl) {
 void Network::park_quiescent(Island& isl) {
   std::size_t kept = 0;
   for (const NodeId id : isl.active) {
-    if (node_quiescent(id)) {
+    if (tile_quiescent(id)) {
       node_awake_[static_cast<std::size_t>(id)] = 0;
     } else {
       isl.active[kept++] = id;
@@ -240,12 +309,14 @@ void Network::park_quiescent(Island& isl) {
   isl.active.resize(kept);
 }
 
-bool Network::node_quiescent(NodeId node) const {
-  const auto i = static_cast<std::size_t>(node);
+bool Network::tile_quiescent(NodeId tile) const {
+  const auto i = static_cast<std::size_t>(tile);
   if (routers_[i]->buffered_now() != 0) return false;
-  if (!nis_[i]->idle()) return false;
+  for (const NodeId nd : tile_nis_[i]) {
+    if (!nis_[static_cast<std::size_t>(nd)]->idle()) return false;
+  }
   // Covers arriving flits, returning credits and the local inject/eject
-  // loop. A router waiting only on downstream credits is parked safely:
+  // loops. A router waiting only on downstream credits is parked safely:
   // the credit push at the downstream traversal wakes it (see traverse).
   for (const ChannelBase* ch : node_read_[i]) {
     if (ch->in_flight() != 0) return false;
@@ -256,7 +327,7 @@ bool Network::node_quiescent(NodeId node) const {
 int Network::island_active_nodes(int island) const {
   const Island& isl = islands_.at(static_cast<std::size_t>(island));
   return skip_idle_ ? static_cast<int>(isl.active.size())
-                    : static_cast<int>(isl.members.size());
+                    : static_cast<int>(isl.tiles.size());
 }
 
 std::uint64_t Network::island_idle_steps_skipped(int island) const {
@@ -278,29 +349,30 @@ power::ActivityCounters Network::total_activity() const {
 
 power::NetworkInventory Network::inventory() const {
   power::NetworkInventory inv;
-  inv.num_routers = topo_.num_nodes();
-  inv.num_links = topo_.num_directed_links();
-  inv.num_local_links = 2 * topo_.num_nodes();
+  inv.num_routers = static_cast<int>(routers_.size());
+  inv.num_links = topol_->num_directed_links();
+  inv.num_local_links = 2 * topol_->num_nodes();
   return inv;
 }
 
 power::ActivityCounters Network::island_activity(int island) const {
   power::ActivityCounters total;
   const Island& isl = islands_.at(static_cast<std::size_t>(island));
-  for (const NodeId id : isl.members) total += routers_[static_cast<std::size_t>(id)]->activity();
+  for (const NodeId id : isl.tiles) total += routers_[static_cast<std::size_t>(id)]->activity();
   for (const NodeId id : isl.members) total += nis_[static_cast<std::size_t>(id)]->activity();
   return total;
 }
 
 power::ActivityCounters Network::node_activity(NodeId node) const {
-  power::ActivityCounters total = routers_.at(static_cast<std::size_t>(node))->activity();
+  const auto r = static_cast<std::size_t>(topol_->router_of(node));
+  power::ActivityCounters total = routers_.at(r)->activity();
   total += nis_.at(static_cast<std::size_t>(node))->activity();
   return total;
 }
 
 power::TileInventory Network::node_inventory(NodeId node) const {
   power::TileInventory inv;
-  inv.links_sourced = topo_.num_neighbors(node);
+  inv.links_sourced = topol_->router_net_degree(topol_->router_of(node));
   inv.local_links = 2;
   return inv;
 }
@@ -308,7 +380,7 @@ power::TileInventory Network::node_inventory(NodeId node) const {
 power::NetworkInventory Network::island_inventory(int island) const {
   const Island& isl = islands_.at(static_cast<std::size_t>(island));
   power::NetworkInventory inv;
-  inv.num_routers = static_cast<int>(isl.members.size());
+  inv.num_routers = static_cast<int>(isl.tiles.size());
   inv.num_links = isl.links_sourced;
   inv.num_local_links = 2 * static_cast<int>(isl.members.size());
   return inv;
@@ -347,6 +419,20 @@ std::uint64_t Network::total_packets_ejected() const {
 std::uint64_t Network::total_source_backlog_flits() const {
   std::uint64_t n = 0;
   for (const auto& ni : nis_) n += ni->source_backlog_flits();
+  return n;
+}
+
+std::uint64_t Network::total_packets_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += r->dropped_packets();
+  for (const auto& ni : nis_) n += ni->dropped_packets();
+  return n;
+}
+
+std::uint64_t Network::total_flits_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += r->dropped_flits();
+  for (const auto& ni : nis_) n += ni->dropped_flits();
   return n;
 }
 
@@ -395,21 +481,22 @@ std::uint64_t Network::island_source_backlog_flits(int island) const {
 }
 
 std::uint64_t Network::island_buffered_flits_now(int island) const {
-  // Sampled every cycle by the occupancy window. Parked nodes buffer
+  // Sampled every cycle by the occupancy window. Parked tiles buffer
   // nothing by definition, so with skip-idle on the activity list is the
-  // exact support of this sum — O(awake) instead of O(members).
+  // exact support of this sum — O(awake) instead of O(tiles).
   const Island& isl = islands_.at(static_cast<std::size_t>(island));
-  const std::vector<NodeId>& nodes = skip_idle_ ? isl.active : isl.members;
+  const std::vector<NodeId>& tiles = skip_idle_ ? isl.active : isl.tiles;
   std::uint64_t n = 0;
-  for (const NodeId id : nodes) {
+  for (const NodeId id : tiles) {
     n += static_cast<std::uint64_t>(routers_[static_cast<std::size_t>(id)]->buffered_now());
   }
   return n;
 }
 
 std::uint64_t Network::island_buffer_capacity_flits(int island) const {
+  const Island& isl = islands_.at(static_cast<std::size_t>(island));
   std::uint64_t n = 0;
-  for (const NodeId id : island_members(island)) {
+  for (const NodeId id : isl.tiles) {
     n += static_cast<std::uint64_t>(routers_[static_cast<std::size_t>(id)]->buffer_capacity());
   }
   return n;

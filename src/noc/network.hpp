@@ -1,8 +1,16 @@
 #pragma once
 
 /// \file network.hpp
-/// The assembled NoC: mesh of routers, inter-router links, credit wires and
+/// The assembled NoC: routers, inter-router links, credit wires and
 /// per-node network interfaces, partitioned into one or more clock islands.
+///
+/// The physical structure comes from a `topo::Topology` (mesh, torus,
+/// concentrated mesh or dragonfly — see src/topo/). Terminology: a *node*
+/// is a network interface (always `width × height`, row-major, exactly the
+/// historical mesh ids); a *tile* is one router together with the NIs that
+/// hang off its local ports, identified by the router id. On the plain
+/// mesh every tile holds one NI and tile ids equal node ids, so everything
+/// below degenerates to the historical behaviour bit-for-bit.
 ///
 /// With a single island (the default, and the paper's configuration)
 /// `step()` advances exactly one NoC clock cycle; the clock kernel decides
@@ -16,10 +24,19 @@
 /// clock-domain crossings: an asynchronous FIFO (`CdcFifo`) ticked by the
 /// receiving domain, charging `cdc_sync_cycles` receiver cycles of
 /// synchronizer latency on top of the link pipeline — in both the flit
-/// direction and the reverse credit direction.
+/// direction and the reverse credit direction. All NIs of a tile must
+/// share their router's island (the partition may not split a tile).
+///
+/// A `FaultModel` (NetworkConfig::faults) injects link/router failures at
+/// construction or mid-run, keyed to island 0's clock. When an epoch
+/// fires, the routing engine rebuilds its up*/down* reroute tables,
+/// routers start reporting traversals, and packets without a surviving
+/// route drain into drop counters (at the source NI for packets enqueued
+/// after the epoch, inside routers for packets already in flight).
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "noc/channel.hpp"
@@ -29,6 +46,9 @@
 #include "noc/topology.hpp"
 #include "power/activity.hpp"
 #include "power/power_model.hpp"
+#include "topo/fault_model.hpp"
+#include "topo/routing_engine.hpp"
+#include "topo/topology.hpp"
 
 namespace nocdvfs::noc {
 
@@ -40,6 +60,16 @@ struct NetworkConfig {
   RoutingAlgo routing = RoutingAlgo::XY;
   int link_latency = 1;  ///< cycles on inter-router links
 
+  /// Physical topology; width/height always count NIs (nodes), and
+  /// `concentration` NIs share one router on concentrated topologies.
+  topo::TopologyKind topology = topo::TopologyKind::Mesh;
+  int concentration = 1;
+
+  /// Fault-injection spec for topo::FaultModel ("" / "off" / "none" =
+  /// fault-free), e.g. "links:2@0+routers:1@5000".
+  std::string faults;
+  std::uint64_t fault_seed = 1;
+
   /// Node→island assignment in row-major node order; empty means one
   /// global island (ids must be contiguous 0..K-1; see vfi::IslandMap).
   std::vector<int> island_of;
@@ -47,8 +77,8 @@ struct NetworkConfig {
   /// cycles (applies to flits and returning credits alike).
   int cdc_sync_cycles = 2;
 
-  /// Skip router/NI phases and channel ticks for quiescent nodes (empty
-  /// buffers, idle NI, nothing in flight on any channel the node reads).
+  /// Skip router/NI phases and channel ticks for quiescent tiles (empty
+  /// buffers, idle NIs, nothing in flight on any channel the tile reads).
   /// Bit-identical to always-stepping — the golden-metrics suite gates
   /// that — but far cheaper at low load. `false` restores the
   /// step-everything discipline (the in-tree comparison path).
@@ -59,8 +89,8 @@ struct NetworkConfig {
 };
 
 /// Implements WakeSink: routers and NIs report every push towards another
-/// node's inputs, which is what keeps the per-island activity lists exact
-/// without any per-cycle scan.
+/// tile's inputs, which is what keeps the per-island activity lists exact
+/// without any per-cycle scan. Wake targets are *tile* (router) ids.
 class Network : public WakeSink {
  public:
   explicit Network(const NetworkConfig& cfg);
@@ -75,7 +105,7 @@ class Network : public WakeSink {
 
   /// Advance island `island` by one cycle of its own clock at master time
   /// `now`: tick its channels (including CDC fifos it reads from), then
-  /// run the router/NI phases of its member nodes. When several islands
+  /// run the router/NI phases of its member tiles. When several islands
   /// fire at the same instant, use the split form below instead.
   void step_island(int island, common::Picoseconds now);
 
@@ -91,15 +121,24 @@ class Network : public WakeSink {
 
   std::uint64_t cycle() const noexcept { return island_cycles_[0]; }
   const NetworkConfig& config() const noexcept { return cfg_; }
+  /// Legacy NI-grid mesh view (node coordinates / hop distance). Only the
+  /// plain-mesh topology routes by it; prefer `topology_model()`.
   const MeshTopology& topology() const noexcept { return topo_; }
+  /// The physical topology the network is actually wired from.
+  const topo::Topology& topology_model() const noexcept { return *topol_; }
   int num_nodes() const noexcept { return topo_.num_nodes(); }
+  int num_routers() const noexcept { return static_cast<int>(routers_.size()); }
 
   // --- island structure ---
   int num_islands() const noexcept { return static_cast<int>(islands_.size()); }
   int island_of(NodeId node) const { return island_of_.at(static_cast<std::size_t>(node)); }
-  /// Ascending node ids of one island.
+  /// Ascending node (NI) ids of one island.
   const std::vector<NodeId>& island_members(int island) const {
     return islands_.at(static_cast<std::size_t>(island)).members;
+  }
+  /// Ascending tile (router) ids of one island.
+  const std::vector<NodeId>& island_tiles(int island) const {
+    return islands_.at(static_cast<std::size_t>(island)).tiles;
   }
   /// Cycles island `island` has executed (its local clock count).
   std::uint64_t island_cycles(int island) const {
@@ -110,27 +149,47 @@ class Network : public WakeSink {
 
   // --- skip-idle stepping (see NetworkConfig::skip_idle) ---
   bool skip_idle() const noexcept { return skip_idle_; }
-  /// Nodes on island `island`'s activity list right now (== members when
-  /// skip_idle is off).
+  /// Tiles on island `island`'s activity list right now (== its tile
+  /// count when skip_idle is off).
   int island_active_nodes(int island) const;
-  /// Router/NI step pairs elided since construction on one island / in
-  /// total: each cycle an island advances, every member *not* on its
+  /// Tile step pairs elided since construction on one island / in total:
+  /// each cycle an island advances, every member tile *not* on its
   /// activity list counts one skipped step. Always 0 with skip_idle off —
   /// the quiescence property tests key on this being large and exact.
   std::uint64_t island_idle_steps_skipped(int island) const;
   std::uint64_t idle_steps_skipped() const;
 
-  /// WakeSink: put `node` on its island's activity list at that island's
-  /// next clock edge (no-op while the node is already awake). Routers/NIs
-  /// call this on every push towards `node`; external traffic sources may
-  /// call it directly.
-  void wake(NodeId node) override;
+  /// WakeSink: put tile `tile` on its island's activity list at that
+  /// island's next clock edge (no-op while the tile is already awake).
+  /// Routers/NIs call this on every push towards the tile.
+  void wake(NodeId tile) override;
 
   NetworkInterface& ni(NodeId node) { return *nis_.at(static_cast<std::size_t>(node)); }
   const NetworkInterface& ni(NodeId node) const {
     return *nis_.at(static_cast<std::size_t>(node));
   }
-  const Router& router(NodeId node) const { return *routers_.at(static_cast<std::size_t>(node)); }
+  /// The router serving node `node` (its tile's router).
+  const Router& router(NodeId node) const {
+    return *routers_.at(static_cast<std::size_t>(topol_->router_of(node)));
+  }
+  /// Direct router access by router id (`0 <= r < num_routers()`).
+  const Router& router_at(int r) const { return *routers_.at(static_cast<std::size_t>(r)); }
+
+  // --- fault & routing introspection ---
+  const topo::RoutingEngine& routing_engine() const noexcept { return *engine_; }
+  /// Null when the network is fault-free.
+  const topo::FaultModel* fault_model() const noexcept { return faults_.get(); }
+  /// Packets/flits dropped anywhere: refused at a source NI (destination
+  /// unreachable at enqueue) or drained inside a router (no surviving
+  /// route once in flight).
+  std::uint64_t total_packets_dropped() const;
+  std::uint64_t total_flits_dropped() const;
+  long long unreachable_pairs() const noexcept {
+    return engine_->unreachable_pairs();
+  }
+  long long rerouted_pairs() const noexcept { return engine_->rerouted_pairs(); }
+  int failed_links() const noexcept { return faults_ ? faults_->failed_links() : 0; }
+  int failed_routers() const noexcept { return faults_ ? faults_->failed_routers() : 0; }
 
   /// Packets delivered since the caller last cleared this vector.
   std::vector<PacketRecord>& delivered() noexcept { return delivered_; }
@@ -157,11 +216,14 @@ class Network : public WakeSink {
   std::uint64_t buffer_capacity_flits() const;
 
   // --- per-tile measurement (the thermal subsystem's attribution scope) ---
-  /// Activity of one tile: its router plus its network interface.
+  /// Activity of node `node`'s tile: its router plus its own NI. Only
+  /// meaningful at concentration 1 (thermal's validated scope), where
+  /// tiles and nodes coincide.
   power::ActivityCounters node_activity(NodeId node) const;
   /// Structures attributed to one tile: the router, the directed
-  /// inter-router links it drives, and its two local channels. Summed over
-  /// an island's members this equals `island_inventory`.
+  /// inter-router links it drives, and the node's two local channels.
+  /// Summed over an island's members this equals `island_inventory` at
+  /// concentration 1.
   power::TileInventory node_inventory(NodeId node) const;
 
   // --- per-island measurement (same definitions, island scope) ---
@@ -178,20 +240,22 @@ class Network : public WakeSink {
 
  private:
   struct Island {
-    std::vector<NodeId> members;             ///< ascending node ids
+    std::vector<NodeId> members;             ///< ascending node (NI) ids
+    std::vector<NodeId> tiles;               ///< ascending tile (router) ids
     std::vector<FlitChannel*> flit_lines;    ///< intra-island flit delay lines
     std::vector<CreditChannel*> credit_lines;
     std::vector<FlitCdcFifo*> cdc_flit_in;     ///< boundary flit fifos this island reads
     std::vector<CreditCdcFifo*> cdc_credit_in; ///< boundary credit fifos this island reads
     int links_sourced = 0;  ///< directed inter-router links driven by this island
 
-    // Skip-idle state. `active` is kept sorted ascending so the phase loops
-    // visit awake nodes in exactly the member order — the delivered-record
-    // sequence (and with it every order-sensitive float accumulation in the
-    // metrics layer) is bit-identical to stepping everyone. `newly_awake`
-    // absorbs wake() calls between this island's edges and is merged in at
-    // the next tick; parking happens after the phases of the same cycle
-    // that drained a node. No per-cycle membership scan anywhere.
+    // Skip-idle state, in tile ids. `active` is kept sorted ascending so
+    // the phase loops visit awake tiles in exactly the tile order — the
+    // delivered-record sequence (and with it every order-sensitive float
+    // accumulation in the metrics layer) is bit-identical to stepping
+    // everyone. `newly_awake` absorbs wake() calls between this island's
+    // edges and is merged in at the next tick; parking happens after the
+    // phases of the same cycle that drained a tile. No per-cycle
+    // membership scan anywhere.
     std::vector<NodeId> active;
     std::vector<NodeId> newly_awake;
     std::uint64_t idle_steps_skipped = 0;
@@ -204,15 +268,24 @@ class Network : public WakeSink {
 
   /// Sorted-merge `newly_awake` into `active` (amortized O(new·log new)).
   void admit_woken(Island& isl);
-  /// Drop nodes that ended the cycle with no work anywhere: empty router
-  /// buffers, idle NI, nothing in flight on any channel the node reads.
+  /// Drop tiles that ended the cycle with no work anywhere: empty router
+  /// buffers, idle NIs, nothing in flight on any channel the tile reads.
   void park_quiescent(Island& isl);
-  bool node_quiescent(NodeId node) const;
+  bool tile_quiescent(NodeId tile) const;
+  /// Fire every fault event due at island-0 cycle `cycle` and rebuild the
+  /// reroute tables.
+  void apply_due_faults(std::uint64_t cycle);
 
   NetworkConfig cfg_;
-  MeshTopology topo_;
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  MeshTopology topo_;  ///< NI-grid view (legacy accessor; mesh routing)
+  std::unique_ptr<topo::Topology> topol_;
+  std::unique_ptr<topo::RoutingEngine> engine_;
+  std::unique_ptr<topo::FaultModel> faults_;
+  ReachabilityFn reachable_fn_;  ///< NI enqueue-time delivery check
+  bool fault_pending_ = false;   ///< unfired fault events remain
+
+  std::vector<std::unique_ptr<Router>> routers_;  ///< by router id
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;  ///< by node id
   // deques: stable element addresses across push_back during wiring
   std::deque<FlitChannel> flit_channels_;
   std::deque<CreditChannel> credit_channels_;
@@ -221,16 +294,18 @@ class Network : public WakeSink {
   std::vector<PacketRecord> delivered_;
   InjectionObserver injection_observer_;
   std::vector<int> island_of_;  ///< resolved node→island (size num_nodes)
+  std::vector<int> router_island_;  ///< tile→island (size num_routers)
+  std::vector<std::vector<NodeId>> tile_nis_;  ///< tile → ascending node ids
   std::vector<Island> islands_;
   std::vector<std::uint64_t> island_cycles_;
   int num_boundary_links_ = 0;
 
   bool skip_idle_ = true;
-  std::vector<std::uint8_t> node_awake_;  ///< on an active or newly_awake list
-  /// Per node: every channel popped in that node's clock domain (its
-  /// router's flit/credit inputs plus its NI's eject/credit inputs). The
-  /// skip-idle tick advances exactly these for awake nodes — eliding the
-  /// tick of a parked node's empty channels is unobservable because both
+  std::vector<std::uint8_t> node_awake_;  ///< per tile: on an active/newly_awake list
+  /// Per tile: every channel popped in that tile's clock domain (its
+  /// router's flit/credit inputs plus its NIs' eject/credit inputs). The
+  /// skip-idle tick advances exactly these for awake tiles — eliding the
+  /// tick of a parked tile's empty channels is unobservable because both
   /// channel kinds delay in reader ticks *since the push* (see ChannelBase).
   std::vector<std::vector<ChannelBase*>> node_read_;
 };

@@ -6,7 +6,7 @@ namespace nocdvfs::noc {
 
 NetworkInterface::NetworkInterface(NodeId node, const NiConfig& cfg,
                                    std::vector<PacketRecord>* delivered_sink)
-    : node_(node), cfg_(cfg), delivered_sink_(delivered_sink) {
+    : node_(node), cfg_(cfg), delivered_sink_(delivered_sink), wake_id_(node) {
   if (cfg.num_vcs < 1 || cfg.vc_buffer_depth < 1) {
     throw std::invalid_argument("NetworkInterface: degenerate VC configuration");
   }
@@ -33,6 +33,19 @@ void NetworkInterface::enqueue_packet(NodeId dst, int size_flits,
                                       std::uint64_t create_noc_cycle,
                                       std::uint8_t traffic_class) {
   NOCDVFS_ASSERT(size_flits >= 1, "packet must have at least one flit");
+  if (reachable_ != nullptr && !(*reachable_)(node_, dst)) {
+    // No surviving route at enqueue time: the packet is offered load (it
+    // counts as generated) but goes straight to the drop counters instead
+    // of the source queue, so backlog cannot grow without bound behind a
+    // destination that will never drain.
+    ++packets_generated_;
+    flits_generated_ += static_cast<std::uint64_t>(size_flits);
+    ++dropped_packets_;
+    dropped_flits_ += static_cast<std::uint64_t>(size_flits);
+    ++next_packet_seq_;
+    if (injection_observer_) (*injection_observer_)(node_, dst, size_flits, traffic_class);
+    return;
+  }
   PendingPacket p;
   // Node-unique packet ids: high bits carry the source node.
   p.id = (static_cast<PacketId>(static_cast<std::uint32_t>(node_)) << 40) | next_packet_seq_++;
@@ -44,7 +57,7 @@ void NetworkInterface::enqueue_packet(NodeId dst, int size_flits,
   source_queue_.push_back(p);
   ++packets_generated_;
   flits_generated_ += static_cast<std::uint64_t>(size_flits);
-  if (wake_ != nullptr) wake_->wake(node_);
+  if (wake_ != nullptr) wake_->wake(wake_id_);
   if (injection_observer_) (*injection_observer_)(node_, dst, size_flits, traffic_class);
 }
 
@@ -141,7 +154,8 @@ void NetworkInterface::inject_phase() {
 std::uint64_t NetworkInterface::source_backlog_flits() const noexcept {
   // Every generated flit that has not yet entered the network is backlog,
   // whether it sits in the queue or in the partially sent current packet.
-  return flits_generated_ - flits_injected_;
+  // Flits refused at enqueue time never become backlog.
+  return flits_generated_ - flits_injected_ - dropped_flits_;
 }
 
 }  // namespace nocdvfs::noc

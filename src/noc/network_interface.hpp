@@ -37,6 +37,12 @@ struct NiConfig {
 using InjectionObserver =
     std::function<void(NodeId src, NodeId dst, int size_flits, std::uint8_t traffic_class)>;
 
+/// Answers "can an NI-to-NI packet currently be delivered?" under the
+/// active fault set. Installed network-wide only when a FaultModel is
+/// attached; a packet whose destination is unreachable at enqueue time is
+/// counted generated *and* dropped, and never enters the source queue.
+using ReachabilityFn = std::function<bool(NodeId src, NodeId dst)>;
+
 class NetworkInterface {
  public:
   NetworkInterface(NodeId node, const NiConfig& cfg, std::vector<PacketRecord>* delivered_sink);
@@ -73,6 +79,14 @@ class NetworkInterface {
   /// `enqueue_packet` runs in the *node* clock domain while the NoC side
   /// of this node may be parked, so it must announce the new work.
   void set_wake_sink(WakeSink* sink) noexcept { wake_ = sink; }
+  /// Skip-idle wake target: the *tile* (router id) whose phase loop steps
+  /// this NI. Defaults to the node id, which is the tile on a plain mesh;
+  /// concentrated topologies override it.
+  void set_wake_id(NodeId tile) noexcept { wake_id_ = tile; }
+
+  /// Non-owning; nullptr (the default) delivers everything. Set by the
+  /// Network when a fault model is active.
+  void set_reachability(const ReachabilityFn* fn) noexcept { reachable_ = fn; }
 
   /// No packet being serialized and nothing queued — the NI contributes no
   /// NoC-domain work (reassembly in progress keeps the node awake through
@@ -87,6 +101,10 @@ class NetworkInterface {
   std::uint64_t packets_ejected() const noexcept { return packets_ejected_; }
   /// Flits still waiting in (or partially drained from) the source queue.
   std::uint64_t source_backlog_flits() const noexcept;
+  /// Packets/flits refused at enqueue time because no route survives the
+  /// active fault set (counted generated too — conservation keeps closing).
+  std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
+  std::uint64_t dropped_flits() const noexcept { return dropped_flits_; }
   const power::ActivityCounters& activity() const noexcept { return activity_; }
 
  private:
@@ -108,7 +126,9 @@ class NetworkInterface {
   NiConfig cfg_;
   std::vector<PacketRecord>* delivered_sink_;
   const InjectionObserver* injection_observer_ = nullptr;
+  const ReachabilityFn* reachable_ = nullptr;
   WakeSink* wake_ = nullptr;
+  NodeId wake_id_;  ///< tile id announced on wake (== node_ on a mesh)
 
   FlitPort* inject_out_ = nullptr;
   CreditPort* inject_credit_in_ = nullptr;
@@ -131,6 +151,8 @@ class NetworkInterface {
   std::uint64_t flits_injected_ = 0;
   std::uint64_t flits_ejected_ = 0;
   std::uint64_t packets_ejected_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t dropped_flits_ = 0;
   power::ActivityCounters activity_;
 };
 

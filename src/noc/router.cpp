@@ -6,53 +6,83 @@
 
 namespace nocdvfs::noc {
 
-Router::Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg)
+namespace {
+/// VA starvation bound: a Waiting VC that fails to win an output VC for
+/// this many consecutive cycles is re-routed onto its deterministic escape
+/// path (minimal-adaptive routing only).
+constexpr int kEscapeWaitCycles = 64;
+}  // namespace
+
+Router::Router(NodeId id, int radix, const RouterConfig& cfg)
     : id_(id),
-      topo_(&topo),
+      topo_(nullptr),
       cfg_(cfg),
-      va_alloc_(kMeshPorts * cfg.num_vcs, kMeshPorts * cfg.num_vcs),
-      sa_input_ptr_(kMeshPorts, 0),
-      sa_output_ptr_(kMeshPorts, 0) {
+      radix_(radix),
+      va_alloc_(radix * cfg.num_vcs, radix * cfg.num_vcs),
+      sa_input_ptr_(static_cast<std::size_t>(radix), 0),
+      sa_output_ptr_(static_cast<std::size_t>(radix), 0) {
   if (cfg.num_vcs < 1 || cfg.num_vcs > 64) {
     throw std::invalid_argument("Router: num_vcs must be in [1, 64]");
   }
   if (cfg.vc_buffer_depth < 1) {
     throw std::invalid_argument("Router: vc_buffer_depth must be positive");
   }
-  if (!topo.valid(id)) throw std::invalid_argument("Router: node id outside topology");
+  if (radix < 1 || radix > kMaxPorts) {
+    throw std::invalid_argument("Router: radix must be in [1, kMaxPorts]");
+  }
 
-  in_.resize(kMeshPorts);
-  out_.resize(kMeshPorts);
+  in_.resize(static_cast<std::size_t>(radix));
+  out_.resize(static_cast<std::size_t>(radix));
+  for (int p = 0; p < radix; ++p) {
+    in_[static_cast<std::size_t>(p)].vcs.reserve(static_cast<std::size_t>(cfg.num_vcs));
+    for (int v = 0; v < cfg.num_vcs; ++v) {
+      in_[static_cast<std::size_t>(p)].vcs.emplace_back(cfg.vc_buffer_depth);
+    }
+    out_[static_cast<std::size_t>(p)].vcs.assign(static_cast<std::size_t>(cfg.num_vcs),
+                                                 OutputVc{});
+  }
+  port_peer_.fill(id);
+  first_local_port_ = radix;  // no local ports until told otherwise
+}
+
+Router::Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg)
+    : Router(id, kMeshPorts, cfg) {
+  if (!topo.valid(id)) throw std::invalid_argument("Router: node id outside topology");
+  topo_ = &topo;
+  first_local_port_ = port_index(PortDir::Local);
   for (int p = 0; p < kMeshPorts; ++p) {
-    in_[p].vcs.reserve(static_cast<std::size_t>(cfg.num_vcs));
-    for (int v = 0; v < cfg.num_vcs; ++v) in_[p].vcs.emplace_back(cfg.vc_buffer_depth);
-    out_[p].vcs.assign(static_cast<std::size_t>(cfg.num_vcs), OutputVc{});
     const PortDir dir = port_dir(p);
     port_peer_[static_cast<std::size_t>(p)] =
         (dir != PortDir::Local && topo.has_neighbor(id, dir)) ? topo.neighbor(id, dir) : id;
   }
 }
 
-void Router::connect_input(PortDir port, FlitPort* flit_in, CreditPort* credit_out) {
-  auto& ip = in_[static_cast<std::size_t>(port_index(port))];
+void Router::set_routing_engine(const topo::RoutingEngine* engine) {
+  engine_ = engine;
+  topo_ = nullptr;
+  adaptive_escape_ = engine != nullptr && engine->adaptive_escape();
+}
+
+void Router::connect_input(int port, FlitPort* flit_in, CreditPort* credit_out) {
+  auto& ip = in_.at(static_cast<std::size_t>(port));
   NOCDVFS_ASSERT(ip.flit_in == nullptr, "input port wired twice");
   if (flit_in == nullptr || credit_out == nullptr) {
     throw std::invalid_argument("Router::connect_input: null channel");
   }
   ip.flit_in = flit_in;
   ip.credit_out = credit_out;
-  wired_in_.push_back(port_index(port));
+  wired_in_.push_back(port);
 }
 
-void Router::connect_output(PortDir port, FlitPort* flit_out, CreditPort* credit_in) {
-  auto& op = out_[static_cast<std::size_t>(port_index(port))];
+void Router::connect_output(int port, FlitPort* flit_out, CreditPort* credit_in) {
+  auto& op = out_.at(static_cast<std::size_t>(port));
   NOCDVFS_ASSERT(op.flit_out == nullptr, "output port wired twice");
   if (flit_out == nullptr || credit_in == nullptr) {
     throw std::invalid_argument("Router::connect_output: null channel");
   }
   op.flit_out = flit_out;
   op.credit_in = credit_in;
-  wired_out_.push_back(port_index(port));
+  wired_out_.push_back(port);
   // Credits mirror the downstream input buffer, one counter per VC.
   for (auto& ovc : op.vcs) ovc.credits = cfg_.vc_buffer_depth;
 }
@@ -79,12 +109,15 @@ void Router::receive_phase() {
       } else if (ivc.state == VcStateKind::Active) {
         sa_candidates_[static_cast<std::size_t>(p)] |= std::uint64_t{1} << flit->vc;
       }
+      // Drop VCs just accumulate; the drain stage empties them.
     }
   }
 }
 
 void Router::compute_phase() {
+  if (drop_pending_ > 0) credit_pushed_.fill(0);
   if (buffered_total_ > 0) switch_allocation_and_traversal();
+  if (drop_pending_ > 0) drain_drops();
   if (waiting_count_ > 0) vc_allocation();
   if (rc_pending_ > 0) route_computation();
 }
@@ -93,8 +126,8 @@ void Router::switch_allocation_and_traversal() {
   // Stage 1 (input arbitration): each input port selects one SA-eligible VC,
   // scanning round-robin from its pointer. Eligible: Active, flit buffered,
   // credit available on the held output VC.
-  std::array<int, kMeshPorts> chosen_vc{};
-  std::array<int, kMeshPorts> requested_out{};
+  std::array<int, kMaxPorts> chosen_vc{};
+  std::array<int, kMaxPorts> requested_out{};
   chosen_vc.fill(-1);
   requested_out.fill(-1);
 
@@ -128,19 +161,20 @@ void Router::switch_allocation_and_traversal() {
 
   // Stage 2 (output arbitration): each output port grants one requesting
   // input port. Pointers advance only on a grant (iSLIP discipline).
-  for (int q = 0; q < kMeshPorts; ++q) {
+  for (int q = 0; q < radix_; ++q) {
     if (!out_[static_cast<std::size_t>(q)].connected()) continue;
     const int ptr = sa_output_ptr_[static_cast<std::size_t>(q)];
     int winner = -1;
-    for (int off = 0; off < kMeshPorts; ++off) {
-      const int p = (ptr + off) % kMeshPorts;
+    int p = ptr;
+    for (int off = 0; off < radix_; ++off) {
       if (requested_out[static_cast<std::size_t>(p)] == q) {
         winner = p;
         break;
       }
+      if (++p == radix_) p = 0;
     }
     if (winner < 0) continue;
-    sa_output_ptr_[static_cast<std::size_t>(q)] = (winner + 1) % kMeshPorts;
+    sa_output_ptr_[static_cast<std::size_t>(q)] = winner + 1 == radix_ ? 0 : winner + 1;
     sa_input_ptr_[static_cast<std::size_t>(winner)] =
         (chosen_vc[static_cast<std::size_t>(winner)] + 1) % v_count;
     ++activity_.sw_alloc_grants;
@@ -166,7 +200,8 @@ void Router::traverse(int in_port, int in_vc) {
   --ovc.credits;
   flit.vc = static_cast<std::uint8_t>(ivc.out_vc);
   ++flit.hops;
-  if (port_dir(ivc.out_port) == PortDir::Local) {
+  if (traverse_hook_) engine_->on_traverse(id_, ivc.out_port, flit);
+  if (ivc.out_port >= first_local_port_) {
     ++activity_.local_flit_hops;
   } else {
     ++activity_.link_flit_hops;
@@ -176,10 +211,11 @@ void Router::traverse(int in_port, int in_vc) {
   // Freed buffer slot: credit flows back to the upstream sender.
   NOCDVFS_ASSERT(ip.credit_out != nullptr, "dequeue from port without credit channel");
   ip.credit_out->push(Credit{static_cast<std::uint8_t>(in_vc)});
+  if (drop_pending_ > 0) credit_pushed_[static_cast<std::size_t>(in_port)] = 1;
 
   if (wake_ != nullptr) {
     // Both pushes target another clock domain's inputs: the flit wakes the
-    // downstream node, the credit the upstream one (the only mechanism by
+    // downstream tile, the credit the upstream one (the only mechanism by
     // which a drained-but-credit-starved router ever resumes).
     wake_->wake(port_peer_[static_cast<std::size_t>(ivc.out_port)]);
     wake_->wake(port_peer_[static_cast<std::size_t>(in_port)]);
@@ -200,6 +236,41 @@ void Router::traverse(int in_port, int in_vc) {
   }
 }
 
+void Router::drain_drops() {
+  // One flit per input port per cycle leaves a Drop VC: the buffer read and
+  // upstream credit mimic a normal dequeue (so flow control stays exact),
+  // but the flit lands in the drop counters instead of the crossbar.
+  for (const int p : wired_in_) {
+    if (credit_pushed_[static_cast<std::size_t>(p)] != 0) continue;
+    auto& ip = in_[static_cast<std::size_t>(p)];
+    const int v_count = cfg_.num_vcs;
+    for (int v = 0; v < v_count; ++v) {
+      auto& ivc = ip.vcs[static_cast<std::size_t>(v)];
+      if (ivc.state != VcStateKind::Drop || ivc.buffer.empty()) continue;
+      const Flit flit = ivc.buffer.pop();
+      --buffered_total_;
+      ++activity_.buffer_reads;
+      ++dropped_flits_;
+      if (flit.head) ++dropped_packets_;
+      ip.credit_out->push(Credit{static_cast<std::uint8_t>(v)});
+      credit_pushed_[static_cast<std::size_t>(p)] = 1;
+      if (wake_ != nullptr) wake_->wake(port_peer_[static_cast<std::size_t>(p)]);
+      if (flit.tail) {
+        ivc.state = VcStateKind::Idle;
+        ivc.out_port = -1;
+        ivc.out_vc = -1;
+        ivc.vc_mask = ~std::uint64_t{0};
+        --drop_pending_;
+        if (!ivc.buffer.empty()) {
+          NOCDVFS_ASSERT(ivc.buffer.front().head, "flit following a tail must be a head");
+          ++rc_pending_;
+        }
+      }
+      break;  // port's credit budget for this cycle is spent
+    }
+  }
+}
+
 void Router::vc_allocation() {
   const int v_count = cfg_.num_vcs;
   bool any_request = false;
@@ -208,9 +279,20 @@ void Router::vc_allocation() {
     for (int v = 0; v < v_count; ++v) {
       auto& ivc = ip.vcs[static_cast<std::size_t>(v)];
       if (ivc.state != VcStateKind::Waiting) continue;
+      if (adaptive_escape_ && ++ivc.wait_cycles >= kEscapeWaitCycles) {
+        // Starved of an output VC: abandon the adaptive choice and confine
+        // the packet to its deterministic escape path, whose VC class the
+        // Duato argument keeps deadlock-free.
+        Flit& head = ivc.buffer.front();
+        const topo::RouteDecision escape = engine_->route(id_, head, *this, true);
+        ivc.out_port = escape.out_port;
+        ivc.vc_mask = escape.vc_mask;
+        ivc.wait_cycles = 0;
+      }
       const auto& op = out_[static_cast<std::size_t>(ivc.out_port)];
       const int agent = p * v_count + v;
       for (int u = 0; u < v_count; ++u) {
+        if (((ivc.vc_mask >> u) & 1u) == 0) continue;
         if (op.vcs[static_cast<std::size_t>(u)].allocated) continue;
         va_alloc_.add_request(agent, ivc.out_port * v_count + u);
         ++activity_.alloc_requests;
@@ -248,18 +330,37 @@ void Router::route_computation() {
     auto& ip = in_[static_cast<std::size_t>(p)];
     for (auto& ivc : ip.vcs) {
       if (ivc.state != VcStateKind::Idle || ivc.buffer.empty()) continue;
-      const Flit& head = ivc.buffer.front();
+      Flit& head = ivc.buffer.front();
       NOCDVFS_ASSERT(head.head, "non-head flit at the front of an Idle VC");
-      const PortDir dir = route_dor(cfg_.routing, *topo_, id_, head.dst);
-      const int q = port_index(dir);
-      NOCDVFS_ASSERT(out_[static_cast<std::size_t>(q)].connected(),
+      if (engine_ != nullptr) {
+        const topo::RouteDecision decision = engine_->route(id_, head, *this, false);
+        if (decision.out_port < 0) {
+          // No surviving route: drain the packet into the drop counters.
+          ivc.state = VcStateKind::Drop;
+          --rc_pending_;
+          ++drop_pending_;
+          continue;
+        }
+        ivc.out_port = decision.out_port;
+        ivc.vc_mask = decision.vc_mask;
+      } else {
+        ivc.out_port = port_index(route_dor(cfg_.routing, *topo_, id_, head.dst));
+      }
+      NOCDVFS_ASSERT(out_[static_cast<std::size_t>(ivc.out_port)].connected(),
                      "route computed towards an unwired port");
-      ivc.out_port = q;
+      ivc.wait_cycles = 0;
       ivc.state = VcStateKind::Waiting;
       --rc_pending_;
       ++waiting_count_;
     }
   }
+}
+
+int Router::downstream_backlog(int port) const {
+  const auto& op = out_[static_cast<std::size_t>(port)];
+  int backlog = 0;
+  for (const auto& ovc : op.vcs) backlog += cfg_.vc_buffer_depth - ovc.credits;
+  return backlog;
 }
 
 int Router::buffered_flits() const noexcept {

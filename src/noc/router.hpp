@@ -4,9 +4,10 @@
 /// Input-queued virtual-channel router with the canonical 4-stage pipeline:
 ///
 ///   RC  — a head flit reaching the front of an Idle VC computes its output
-///         port (dimension-ordered routing);
-///   VA  — the VC requests an output VC through a separable input-first
-///         allocator; body flits inherit the allocation;
+///         port (and the VC-class mask VA may use) via the routing engine,
+///         or plain dimension-ordered routing in the legacy mesh setup;
+///   VA  — the VC requests an output VC (within its class mask) through a
+///         separable input-first allocator; body flits inherit the grant;
 ///   SA  — per-cycle switch allocation: one flit per input port and per
 ///         output port, round-robin at both stages, credit-gated;
 ///   ST  — the granted flit crosses the switch onto the output link and a
@@ -20,6 +21,14 @@
 /// Credit-based flow control: each output VC mirrors the downstream buffer
 /// as a credit counter, initialized to the buffer depth and replenished by
 /// the reverse credit channel.
+///
+/// The radix is dynamic (up to kMaxPorts) so one implementation serves
+/// mesh, torus, concentrated-mesh and dragonfly routers; the storage stays
+/// in fixed arrays and the mesh instantiation (radix 5) executes the exact
+/// historical sequence of operations. Under an active FaultModel a VC can
+/// enter the Drop state: its packet has no surviving route, and the flits
+/// drain out of the buffer (one per port per cycle, credits returned
+/// upstream) into the dropped-flit counters instead of the crossbar.
 
 #include <array>
 #include <cstdint>
@@ -32,6 +41,7 @@
 #include "noc/topology.hpp"
 #include "noc/types.hpp"
 #include "power/activity.hpp"
+#include "topo/routing_engine.hpp"
 
 namespace nocdvfs::noc {
 
@@ -45,11 +55,18 @@ enum class VcStateKind : std::uint8_t {
   Idle,     ///< no packet; head at front (if any) awaits RC
   Waiting,  ///< routed; awaiting an output VC (VA)
   Active,   ///< output VC held; flits compete for the switch (SA)
+  Drop,     ///< unroutable under faults; buffer drains to the drop counters
 };
 
-class Router {
+class Router : public topo::RouterView {
  public:
+  /// Legacy mesh form: radix 5, port peers and XY/YX routes derived from
+  /// the mesh directly (no routing engine). Unit tests build routers this
+  /// way; Network uses the generic form below.
   Router(NodeId id, const MeshTopology& topo, const RouterConfig& cfg);
+  /// Generic form: `radix` ports, initially all self-peered and routed by a
+  /// required routing engine (set_routing_engine before the first cycle).
+  Router(NodeId id, int radix, const RouterConfig& cfg);
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
@@ -57,24 +74,48 @@ class Router {
   Router& operator=(Router&&) = delete;
 
   /// Wire one input port: incoming flits and the reverse credit channel.
-  void connect_input(PortDir port, FlitPort* flit_in, CreditPort* credit_out);
+  void connect_input(int port, FlitPort* flit_in, CreditPort* credit_out);
+  void connect_input(PortDir port, FlitPort* flit_in, CreditPort* credit_out) {
+    connect_input(port_index(port), flit_in, credit_out);
+  }
   /// Wire one output port: outgoing flits and the incoming credit channel.
-  void connect_output(PortDir port, FlitPort* flit_out, CreditPort* credit_in);
+  void connect_output(int port, FlitPort* flit_out, CreditPort* credit_in);
+  void connect_output(PortDir port, FlitPort* flit_out, CreditPort* credit_in) {
+    connect_output(port_index(port), flit_out, credit_in);
+  }
 
   /// Install the skip-idle wake receiver (nullptr = no notifications).
-  /// Each flit/credit push in `traverse` then wakes the node that reads
-  /// the far end of that channel — the mesh neighbour behind the port, or
-  /// this node itself for Local.
+  /// Each flit/credit push in `traverse` then wakes the tile that reads
+  /// the far end of that channel — the neighbour behind the port, or this
+  /// tile itself for local ports.
   void set_wake_sink(WakeSink* sink) noexcept { wake_ = sink; }
+  /// Tile whose clock reads the channels behind `port` (wake target).
+  void set_port_peer(int port, NodeId tile) {
+    port_peer_[static_cast<std::size_t>(port)] = tile;
+  }
+  /// First NI-local port index (ports below it are network links); splits
+  /// the local/link hop activity counters. The legacy mesh form sets 4.
+  void set_first_local_port(int port) noexcept { first_local_port_ = port; }
+  /// Route via `engine` instead of the legacy mesh DOR path.
+  void set_routing_engine(const topo::RoutingEngine* engine);
+  /// Fault mode: every traversed flit is reported to the engine (up*/down*
+  /// phase tracking). Toggled by Network on fault epochs.
+  void set_traverse_hook(bool active) noexcept { traverse_hook_ = active; }
 
   /// Phase 1 of a network cycle: latch arriving credits and flits.
   void receive_phase();
-  /// Phase 2: SA+ST, then VA, then RC (reverse pipeline order).
+  /// Phase 2: SA+ST, drop drain, then VA, then RC (reverse pipeline order).
   void compute_phase();
 
   NodeId id() const noexcept { return id_; }
+  int radix() const noexcept { return radix_; }
   const RouterConfig& config() const noexcept { return cfg_; }
   const power::ActivityCounters& activity() const noexcept { return activity_; }
+
+  /// topo::RouterView — occupied downstream slots behind an output port
+  /// (buffer capacity minus credits), the congestion signal adaptive and
+  /// UGAL route selection reads.
+  int downstream_backlog(int port) const override;
 
   // --- introspection for tests and invariant checks ---
   int buffered_flits() const noexcept;
@@ -89,6 +130,10 @@ class Router {
   bool output_vc_allocated(PortDir port, int vc) const;
   VcStateKind input_vc_state(PortDir port, int vc) const;
   int input_vc_occupancy(PortDir port, int vc) const;
+  /// Flits/packets drained into the void because no route survived the
+  /// active fault set (counted when the flit leaves the buffer).
+  std::uint64_t dropped_flits() const noexcept { return dropped_flits_; }
+  std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
 
  private:
   struct InputVc {
@@ -97,6 +142,8 @@ class Router {
     VcStateKind state = VcStateKind::Idle;
     int out_port = -1;
     int out_vc = -1;
+    std::uint64_t vc_mask = ~std::uint64_t{0};  ///< VCs VA may claim (RC decision)
+    int wait_cycles = 0;  ///< VA starvation counter (adaptive escape re-route)
   };
   struct InputPort {
     std::vector<InputVc> vcs;
@@ -117,13 +164,16 @@ class Router {
   };
 
   void switch_allocation_and_traversal();
+  void drain_drops();
   void vc_allocation();
   void route_computation();
   void traverse(int in_port, int in_vc);
 
   NodeId id_;
-  const MeshTopology* topo_;
+  const MeshTopology* topo_;  ///< legacy mesh routing (null with an engine)
+  const topo::RoutingEngine* engine_ = nullptr;
   RouterConfig cfg_;
+  int radix_;
   std::vector<InputPort> in_;
   std::vector<OutputPort> out_;
   SeparableAllocator va_alloc_;
@@ -138,21 +188,32 @@ class Router {
   int buffered_total_ = 0;  ///< flits in all input FIFOs (gates SA)
   int waiting_count_ = 0;   ///< VCs in Waiting state (gates VA)
   int rc_pending_ = 0;      ///< Idle VCs with a buffered head (gates RC)
+  int drop_pending_ = 0;    ///< VCs in Drop state (gates the drain stage)
 
   /// Per input port: bit v set iff VC v is Active with a buffered flit —
   /// the SA stage-1 candidate set (credit availability checked at scan
   /// time). Lets the hot path visit only populated VCs. num_vcs <= 64 is
   /// enforced at construction.
-  std::array<std::uint64_t, kMeshPorts> sa_candidates_{};
+  std::array<std::uint64_t, kMaxPorts> sa_candidates_{};
+  /// Per input port: a credit was pushed upstream this cycle (SA traversal
+  /// or drop drain) — the drain stage respects the 1-credit/cycle channel
+  /// budget. Only maintained while drop_pending_ > 0.
+  std::array<std::uint8_t, kMaxPorts> credit_pushed_{};
 
   std::vector<int> wired_in_;   ///< indices of connected input ports
   std::vector<int> wired_out_;  ///< indices of connected output ports
 
+  bool adaptive_escape_ = false;  ///< engine wants VA-starvation re-routes
+  bool traverse_hook_ = false;    ///< report traversals to the engine
+  int first_local_port_ = 0;      ///< ports >= this are NI-local
+  std::uint64_t dropped_flits_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+
   WakeSink* wake_ = nullptr;
-  /// Per port: the node whose clock reads channels behind it (the mesh
-  /// neighbour, or this node for Local) — precomputed so wake-on-push is
+  /// Per port: the tile whose clock reads channels behind it (the
+  /// neighbour, or this tile for locals) — precomputed so wake-on-push is
   /// a table lookup, not a topology query.
-  std::array<NodeId, kMeshPorts> port_peer_{};
+  std::array<NodeId, kMaxPorts> port_peer_{};
 };
 
 }  // namespace nocdvfs::noc

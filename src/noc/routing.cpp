@@ -1,5 +1,8 @@
 #include "noc/routing.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -8,7 +11,7 @@ namespace nocdvfs::noc {
 PortDir route_dor(RoutingAlgo algo, const MeshTopology& topo, NodeId here, NodeId dst) {
   const Coord h = topo.coord_of(here);
   const Coord d = topo.coord_of(dst);
-  if (algo == RoutingAlgo::XY) {
+  if (algo != RoutingAlgo::YX) {
     if (d.x > h.x) return PortDir::East;
     if (d.x < h.x) return PortDir::West;
     if (d.y > h.y) return PortDir::North;
@@ -22,14 +25,33 @@ PortDir route_dor(RoutingAlgo algo, const MeshTopology& topo, NodeId here, NodeI
   return PortDir::Local;
 }
 
+namespace {
+constexpr RoutingAlgo kAllAlgos[] = {RoutingAlgo::XY, RoutingAlgo::YX, RoutingAlgo::Adaptive,
+                                     RoutingAlgo::Ugal};
+}  // namespace
+
 RoutingAlgo routing_algo_from_string(const std::string& name) {
-  if (name == "xy") return RoutingAlgo::XY;
-  if (name == "yx") return RoutingAlgo::YX;
-  throw std::invalid_argument("routing_algo_from_string: unknown algorithm '" + name + "'");
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const RoutingAlgo algo : kAllAlgos) {
+    if (lower == to_string(algo)) return algo;
+  }
+  std::ostringstream msg;
+  msg << "routing_algo_from_string: unknown algorithm '" << name << "' (valid:";
+  for (const RoutingAlgo algo : kAllAlgos) msg << ' ' << to_string(algo);
+  msg << ")";
+  throw std::invalid_argument(msg.str());
 }
 
 const char* to_string(RoutingAlgo algo) noexcept {
-  return algo == RoutingAlgo::XY ? "xy" : "yx";
+  switch (algo) {
+    case RoutingAlgo::XY: return "xy";
+    case RoutingAlgo::YX: return "yx";
+    case RoutingAlgo::Adaptive: return "adaptive";
+    case RoutingAlgo::Ugal: return "ugal";
+  }
+  return "?";
 }
 
 }  // namespace nocdvfs::noc

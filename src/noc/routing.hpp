@@ -1,25 +1,31 @@
 #pragma once
 
 /// \file routing.hpp
-/// Deterministic routing on the mesh. The paper uses dimension-ordered
-/// routing (XY); YX is included so tests can cross-check symmetry and the
-/// sensitivity harness can vary the algorithm.
+/// Routing-algorithm vocabulary plus the original deterministic
+/// dimension-ordered router for the mesh. The paper uses XY; YX is included
+/// so tests can cross-check symmetry.
 ///
-/// Both orders are minimal and acyclic on a mesh, hence deadlock-free with
-/// any number of VCs and no VC-class restrictions.
+/// XY and YX are handled directly by `route_dor` on a plain mesh (minimal,
+/// acyclic, deadlock-free with any number of VCs). Adaptive
+/// (minimal-adaptive with escape VCs) and Ugal (UGAL-L non-minimal with
+/// Valiant fallback paths) are implemented by topo::RoutingEngine, which
+/// also supplies the per-topology VC-class discipline they require;
+/// `route_dor` treats them as XY so legacy single-router call sites stay
+/// well-defined.
 
 #include "noc/topology.hpp"
 #include "noc/types.hpp"
 
 namespace nocdvfs::noc {
 
-enum class RoutingAlgo { XY, YX };
+enum class RoutingAlgo { XY, YX, Adaptive, Ugal };
 
 /// Output port for a packet at router `here` destined for `dst`.
 /// Returns Local when here == dst.
 PortDir route_dor(RoutingAlgo algo, const MeshTopology& topo, NodeId here, NodeId dst);
 
-/// Parse "xy" / "yx"; throws std::invalid_argument otherwise.
+/// Case-insensitive parse of "xy" / "yx" / "adaptive" / "ugal"; throws
+/// std::invalid_argument naming the offender and the valid set.
 RoutingAlgo routing_algo_from_string(const std::string& name);
 const char* to_string(RoutingAlgo algo) noexcept;
 

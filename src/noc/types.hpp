@@ -24,6 +24,17 @@ enum class PortDir : std::uint8_t { North = 0, East = 1, South = 2, West = 3, Lo
 
 inline constexpr int kMeshPorts = 5;
 
+/// Compile-time ceiling on router radix across all topologies (dragonfly
+/// locals + globals + concentration). Router port arrays are sized to this
+/// so generalizing the radix costs the mesh hot path nothing.
+inline constexpr int kMaxPorts = 16;
+
+/// Bits of Flit::route_flags — per-packet routing state carried in the
+/// head flit and interpreted by topo::RoutingEngine.
+inline constexpr std::uint8_t kRouteFlagPhase1 = 1;       ///< Valiant leg 2 (toward dst)
+inline constexpr std::uint8_t kRouteFlagUgalDecided = 2;  ///< UGAL source choice made
+inline constexpr std::uint8_t kRouteFlagWentDown = 4;     ///< took a down edge (up*/down*)
+
 constexpr int port_index(PortDir d) noexcept { return static_cast<int>(d); }
 
 constexpr PortDir port_dir(int index) noexcept { return static_cast<PortDir>(index); }
@@ -80,6 +91,10 @@ struct Flit {
   std::uint64_t create_noc_cycle = 0;      ///< NoC cycle count at generation
   std::uint8_t vc = 0;                     ///< VC on the link being traversed
   std::uint16_t hops = 0;                  ///< routers traversed so far
+  /// Valiant intermediate *router* for UGAL non-minimal routing; -1 when
+  /// the packet routes minimally. Set once at the source router.
+  NodeId intm = -1;
+  std::uint8_t route_flags = 0;  ///< kRouteFlag* bits (routing-engine state)
   /// Workload-defined label carried end to end (e.g. 0 = request, 1 =
   /// reply); the metrics layer splits delay statistics per class.
   std::uint8_t traffic_class = 0;

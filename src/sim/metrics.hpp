@@ -102,6 +102,7 @@ struct RunResult {
   double p99_delay_ns = 0.0;
   double avg_latency_cycles = 0.0;  ///< in NoC clock cycles
   double avg_hops = 0.0;
+  std::uint64_t max_hops = 0;  ///< longest delivered path (router traversals + ejection)
 
   /// Per-traffic-class delay split. Class 1 carries round-trip-stamped
   /// replies in the request–reply workload; zero counts mean the class was
@@ -148,6 +149,14 @@ struct RunResult {
   /// configuration). Global cycle-denominated metrics above are counted in
   /// island 0's clock domain when several islands exist.
   std::vector<IslandResult> islands;
+
+  // --- faults & reroute (zero on a fault-free run) ---
+  std::uint64_t dropped_packets = 0;  ///< NI-refused + router-drained, whole run
+  std::uint64_t dropped_flits = 0;
+  std::int64_t unreachable_pairs = 0;  ///< ordered NI pairs with no surviving route
+  std::int64_t rerouted_pairs = 0;     ///< router pairs bent off the fault-free table
+  int failed_links = 0;                ///< undirected links currently down
+  int failed_routers = 0;
 
   // --- diagnostics ---
   bool saturated = false;

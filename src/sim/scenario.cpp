@@ -10,6 +10,10 @@
 #include "dvfs/dmsd.hpp"
 #include "dvfs/qbsd.hpp"
 #include "dvfs/rmsd.hpp"
+#include "noc/routing.hpp"
+#include "topo/fault_model.hpp"
+#include "topo/routing_engine.hpp"
+#include "topo/topology.hpp"
 #include "trace/recording_traffic.hpp"
 #include "trace/trace_traffic.hpp"
 #include "vfi/island_map.hpp"
@@ -251,6 +255,55 @@ std::string island_config_problem(const Scenario& s) {
   return "";
 }
 
+std::string topo_config_problem(const Scenario& s) {
+  try {
+    const auto [width, height] = effective_mesh_dims(s);
+    const std::unique_ptr<topo::Topology> topo =
+        topo::Topology::make(s.network.topology, width, height, s.network.concentration);
+    const int need = topo::RoutingEngine::required_vcs(*topo, s.network.routing);
+    if (s.network.num_vcs < need) {
+      return std::string("routing=") + noc::to_string(s.network.routing) + " on topology=" +
+             topo::to_string(topo->kind()) + " needs at least " + std::to_string(need) +
+             " virtual channels for its deadlock-avoidance classes (vcs=" +
+             std::to_string(s.network.num_vcs) + ")";
+    }
+    if (const std::string problem = topo::FaultModel::spec_problem(s.network.faults);
+        !problem.empty()) {
+      return problem;
+    }
+    if (s.thermal && (s.network.topology != topo::TopologyKind::Mesh ||
+                      s.network.concentration != 1)) {
+      return std::string("thermal=on models the plain mesh tile grid (got topology=") +
+             topo::to_string(s.network.topology) +
+             " concentration=" + std::to_string(s.network.concentration) + ")";
+    }
+    if (topo->concentration() > 1) {
+      // A clock island must hold whole tiles: the router and every NI
+      // behind it share one domain (Network enforces this too; catching it
+      // here names the offending tile before construction).
+      const vfi::IslandMap map = build_island_map(s, width, height);
+      if (map.num_islands() > 1) {
+        const std::vector<int>& assign = map.assignment();
+        std::vector<int> tile_island(static_cast<std::size_t>(topo->num_routers()), -1);
+        for (noc::NodeId id = 0; id < topo->num_nodes(); ++id) {
+          const auto r = static_cast<std::size_t>(topo->router_of(id));
+          const int isl = assign[static_cast<std::size_t>(id)];
+          if (tile_island[r] == -1) {
+            tile_island[r] = isl;
+          } else if (tile_island[r] != isl) {
+            return "islands=" + s.islands + " splits tile " + std::to_string(topo->router_of(id)) +
+                   " (concentration=" + std::to_string(topo->concentration()) +
+                   "): a router and all its NIs must share one island";
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
 std::string thermal_config_problem(const Scenario& s) {
   if (!s.thermal) return "";  // keys are inert with thermal=off
   std::ostringstream os;
@@ -338,6 +391,16 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
 
   c.declare_int("width", d.network.width, "mesh width");
   c.declare_int("height", d.network.height, "mesh height");
+  c.declare("topology", topo::to_string(d.network.topology),
+            "physical topology: mesh|torus|cmesh|dragonfly");
+  c.declare("routing", noc::to_string(d.network.routing),
+            "routing algorithm: xy|yx|adaptive|ugal");
+  c.declare_int("concentration", d.network.concentration,
+                "NIs per router (cmesh: 2 or 4; dragonfly: >= 1; else 1)");
+  c.declare("faults", d.network.faults,
+            "fault injection: links:K[@CYCLE]+routers:K[@CYCLE], or off");
+  c.declare_int("fault_seed", static_cast<std::int64_t>(d.network.fault_seed),
+                "RNG seed for fault site selection");
   c.declare_int("vcs", d.network.num_vcs, "virtual channels per port");
   c.declare_int("bufs", d.network.vc_buffer_depth, "flit buffers per VC");
   c.declare_int("link_latency", d.network.link_latency, "inter-router link cycles");
@@ -407,6 +470,11 @@ Scenario Scenario::from_config(const common::Config& c) {
 
   s.network.width = static_cast<int>(c.get_int("width"));
   s.network.height = static_cast<int>(c.get_int("height"));
+  s.network.topology = topo::topology_kind_from_string(c.get_string("topology"));
+  s.network.routing = noc::routing_algo_from_string(c.get_string("routing"));
+  s.network.concentration = static_cast<int>(c.get_int("concentration"));
+  s.network.faults = c.get_string("faults");
+  s.network.fault_seed = static_cast<std::uint64_t>(c.get_int("fault_seed"));
   s.network.num_vcs = static_cast<int>(c.get_int("vcs"));
   s.network.vc_buffer_depth = static_cast<int>(c.get_int("bufs"));
   s.network.link_latency = static_cast<int>(c.get_int("link_latency"));
@@ -441,6 +509,8 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   if (!thermal_problem.empty()) {
     throw std::invalid_argument("Scenario: " + thermal_problem);
   }
+  const std::string topo_problem = topo_config_problem(s);
+  if (!topo_problem.empty()) throw std::invalid_argument("Scenario: " + topo_problem);
 
   SimulatorConfig sim_cfg;
   sim_cfg.network = s.network;

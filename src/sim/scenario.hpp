@@ -159,6 +159,16 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& scenario);
 /// throws it; `SweepRunner` prefixes it with the offending point/axis.
 std::string island_config_problem(const Scenario& scenario);
 
+/// Validate the topology/routing/fault scenario keys against each other:
+/// dimensions and concentration legal for the topology kind, the VC budget
+/// sufficient for the (topology, routing) deadlock-avoidance classes, the
+/// fault spec well-formed, thermal restricted to the plain mesh, and a
+/// VF-island partition that never splits a concentrated tile. Returns an
+/// empty string when runnable, else a human-readable description of the
+/// first problem. `make_simulator` throws it; `SweepRunner` prefixes it
+/// with the offending point/axis.
+std::string topo_config_problem(const Scenario& scenario);
+
 /// Validate the thermal scenario keys when `thermal=` is on (step vs the
 /// explicit-Euler stability bound for the effective mesh, cap vs ambient,
 /// RC/coefficient ranges). Returns an empty string when runnable, else a

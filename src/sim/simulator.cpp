@@ -20,11 +20,13 @@ std::uint64_t round_up_to_period(std::uint64_t cycles, std::uint64_t period) {
   return ((cycles + period - 1) / period) * period;
 }
 
-power::RouterGeometry geometry_from(const noc::NetworkConfig& net, int flit_bits) {
+power::RouterGeometry geometry_from(const noc::Network& net, int flit_bits) {
   power::RouterGeometry g;
-  g.num_ports = noc::kMeshPorts;
-  g.num_vcs = net.num_vcs;
-  g.buffer_depth = net.vc_buffer_depth;
+  // Mesh routers have radix kMeshPorts; concentrated/high-radix topologies
+  // size the energy model by their largest router.
+  g.num_ports = net.topology_model().max_radix();
+  g.num_vcs = net.config().num_vcs;
+  g.buffer_depth = net.config().vc_buffer_depth;
   g.flit_bits = flit_bits;
   return g;
 }
@@ -66,7 +68,7 @@ Simulator::Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::Traffi
       traffic_(std::move(traffic)),
       bank_(checked_controllers(std::move(controllers), cfg.network.num_islands()),
             std::move(curve), cfg.f_node, cfg.control_period_node_cycles, cfg.vf_trace_max),
-      energy_(geometry_from(cfg.network, cfg.flit_bits), cfg.energy_params),
+      energy_(geometry_from(net_, cfg.flit_bits), cfg.energy_params),
       clock_(cfg.f_node, start_frequencies(cfg.network.num_islands(), bank_.f_start())) {
   if (!traffic_) throw std::invalid_argument("Simulator: null traffic model");
 }
@@ -139,6 +141,7 @@ RunResult Simulator::run(const RunPhases& phases) {
   std::uint64_t measure_start_gen = 0;
   std::uint64_t measure_start_ej = 0;
   std::uint64_t measure_start_backlog = 0;
+  std::uint64_t measure_start_dropped = 0;
   common::RunningStats delay_stats;
   common::RunningStats latency_stats;
   common::RunningStats hops_stats;
@@ -331,6 +334,7 @@ RunResult Simulator::run(const RunPhases& phases) {
     measure_start_gen = net_.total_flits_generated();
     measure_start_ej = net_.total_flits_ejected();
     measure_start_backlog = net_.total_source_backlog_flits();
+    measure_start_dropped = net_.total_flits_dropped();
     for (int i = 0; i < n_islands; ++i) {
       IslandMeasure& m_state = meas[static_cast<std::size_t>(i)];
       const common::Hertz f = bank_.manager(i).current_frequency();
@@ -428,6 +432,8 @@ RunResult Simulator::run(const RunPhases& phases) {
     result.p99_delay_ns = delay_hist.quantile(0.99);
     result.avg_latency_cycles = latency_stats.mean();
     result.avg_hops = hops_stats.mean();
+    result.max_hops =
+        hops_stats.count() > 0 ? static_cast<std::uint64_t>(hops_stats.max()) : 0;
     result.avg_class0_delay_ns = class_delay_stats[0].mean();
     result.class0_packets = class_delay_stats[0].count();
     result.avg_class1_delay_ns = class_delay_stats[1].mean();
@@ -494,15 +500,27 @@ RunResult Simulator::run(const RunPhases& phases) {
     const std::uint64_t backlog_end = net_.total_source_backlog_flits();
     result.backlog_growth_flits = static_cast<std::int64_t>(backlog_end) -
                                   static_cast<std::int64_t>(measure_start_backlog);
+    // Fault accounting (all zero on a fault-free run).
+    result.dropped_packets = net_.total_packets_dropped();
+    result.dropped_flits = net_.total_flits_dropped();
+    result.unreachable_pairs = net_.unreachable_pairs();
+    result.rerouted_pairs = net_.rerouted_pairs();
+    result.failed_links = net_.failed_links();
+    result.failed_routers = net_.failed_routers();
     // Saturated: the source queues grew materially (more than ~5% of the
     // traffic generated, and more than transient jitter of a couple of
-    // packets per node), or delivery lagged generation by > 5%.
+    // packets per node), or delivery lagged generation by > 5%. Flits
+    // dropped under faults were never deliverable, so they count against
+    // neither side of the delivery ratio.
+    const std::uint64_t dropped_delta = net_.total_flits_dropped() - measure_start_dropped;
+    const std::uint64_t deliverable_delta = gen_delta - std::min(gen_delta, dropped_delta);
     const double growth_floor =
         std::max(2.0 * n_nodes * 20.0, 0.05 * static_cast<double>(gen_delta));
     const bool backlog_saturated =
         static_cast<double>(result.backlog_growth_flits) > growth_floor;
     const bool delivery_saturated =
-        gen_delta > 0 && static_cast<double>(ej_delta) < 0.95 * static_cast<double>(gen_delta);
+        deliverable_delta > 0 &&
+        static_cast<double>(ej_delta) < 0.95 * static_cast<double>(deliverable_delta);
     result.saturated = backlog_saturated || delivery_saturated;
 
     result.islands.resize(static_cast<std::size_t>(n_islands));

@@ -186,6 +186,9 @@ void validate_points(const std::vector<SweepPoint>& points,
     } else if (std::string thermal_problem = thermal_config_problem(p.scenario);
                !thermal_problem.empty()) {
       problem = std::move(thermal_problem);
+    } else if (std::string topo_problem = topo_config_problem(p.scenario);
+               !topo_problem.empty()) {
+      problem = std::move(topo_problem);
     } else if (p.scenario.workload == Scenario::Workload::Custom &&
                !p.scenario.traffic_factory) {
       problem =
@@ -341,7 +344,9 @@ void CsvResultSink::begin_sweep(const std::string& group,
            "delivered_flits_per_node_cycle,avg_buffer_occupancy,"
            "packets_delivered,saturated,controller_settled,warmup_node_cycles_used,"
            "islands,num_islands,freq_residency,island_power_mw,"
-           "thermal,peak_temp_c,mean_temp_c,throttle_residency,leakage_j,leakage_ref_j\n";
+           "thermal,peak_temp_c,mean_temp_c,throttle_residency,leakage_j,leakage_ref_j,"
+           "topology,routing,faults,max_hops,dropped_packets,unreachable_pairs,"
+           "rerouted_pairs\n";
     header_written_ = true;
   }
 }
@@ -371,7 +376,11 @@ void CsvResultSink::on_result(const SweepRecord& record) {
       << csv_escape(island_power_cell(r)) << ',' << (r.thermal.enabled ? 1 : 0) << ','
       << r.thermal.peak_temp_c << ',' << r.thermal.mean_temp_c << ','
       << r.thermal.throttle_residency << ',' << r.thermal.leakage_j << ','
-      << r.thermal.leakage_ref_j << '\n';
+      << r.thermal.leakage_ref_j << ',' << topo::to_string(s.network.topology) << ','
+      << noc::to_string(s.network.routing) << ','
+      << csv_escape(s.network.faults.empty() ? "off" : s.network.faults) << ','
+      << r.max_hops << ',' << r.dropped_packets << ',' << r.unreachable_pairs << ','
+      << r.rerouted_pairs << '\n';
   os_ << row.str();
 }
 
@@ -401,7 +410,10 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << ",\"control_period\":" << s.control_period << ",\"vf_levels\":" << s.vf_levels
      << ",\"width\":" << s.network.width << ",\"height\":" << s.network.height
      << ",\"islands\":\"" << json_escape(s.islands) << "\",\"cdc_sync_cycles\":"
-     << s.cdc_sync_cycles << "}"
+     << s.cdc_sync_cycles << ",\"topology\":\"" << topo::to_string(s.network.topology)
+     << "\",\"routing\":\"" << noc::to_string(s.network.routing)
+     << "\",\"concentration\":" << s.network.concentration << ",\"faults\":\""
+     << json_escape(s.network.faults.empty() ? "off" : s.network.faults) << "\"}"
      << ",\"result\":{\"avg_delay_ns\":" << r.avg_delay_ns
      << ",\"p99_delay_ns\":" << r.p99_delay_ns
      << ",\"avg_latency_cycles\":" << r.avg_latency_cycles
@@ -413,7 +425,14 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << ",\"avg_buffer_occupancy\":" << r.avg_buffer_occupancy
      << ",\"packets_delivered\":" << r.packets_delivered
      << ",\"saturated\":" << (r.saturated ? "true" : "false")
-     << ",\"controller_settled\":" << (r.controller_settled ? "true" : "false") << "}"
+     << ",\"controller_settled\":" << (r.controller_settled ? "true" : "false")
+     << ",\"max_hops\":" << r.max_hops
+     << ",\"dropped_packets\":" << r.dropped_packets
+     << ",\"dropped_flits\":" << r.dropped_flits
+     << ",\"unreachable_pairs\":" << r.unreachable_pairs
+     << ",\"rerouted_pairs\":" << r.rerouted_pairs
+     << ",\"failed_links\":" << r.failed_links
+     << ",\"failed_routers\":" << r.failed_routers << "}"
      << ",\"thermal\":{\"enabled\":" << (r.thermal.enabled ? "true" : "false")
      << ",\"peak_temp_c\":" << r.thermal.peak_temp_c
      << ",\"mean_temp_c\":" << r.thermal.mean_temp_c

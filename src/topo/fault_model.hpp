@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file fault_model.hpp
+/// Seeded link/router fault injection over a Topology.
+///
+/// A fault specification is a '+'-joined list of events:
+///
+///     links:K[@CYCLE]     fail K random live links (both directions)
+///     routers:K[@CYCLE]   fail K random live routers
+///
+/// e.g. "links:2" (two links dead from cycle 0) or
+/// "links:1@0+routers:1@5000" (one link at start, one router mid-run).
+/// Selection is uniform over the surviving candidates, driven by a
+/// dedicated `fault_seed` stream so the same scenario + seed always kills
+/// the same elements. Events fire on the NoC cycle counter of island 0.
+///
+/// Semantics are lame-duck: a failed link stops accepting *new* route
+/// decisions but flits already committed to it drain normally; a failed
+/// router stops switching entirely (everything buffered there, and every
+/// packet whose source or destination NI hangs off it, is dropped and
+/// counted). Rerouting around the survivors is the RoutingEngine's job.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace nocdvfs::topo {
+
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  int links = 0;
+  int routers = 0;
+};
+
+class FaultModel {
+ public:
+  /// Parses `spec`; throws std::invalid_argument (offender + grammar) on a
+  /// malformed specification. An empty / "off" / "none" spec yields a model
+  /// with no events.
+  FaultModel(const Topology& topo, const std::string& spec, std::uint64_t seed);
+
+  /// "" when `spec` is well-formed, else a description of the problem.
+  static std::string spec_problem(const std::string& spec);
+  /// True for "", "off", "none" (case-insensitive): no fault injection.
+  static bool spec_is_off(const std::string& spec);
+
+  bool has_events() const noexcept { return !events_.empty(); }
+  bool has_pending() const noexcept { return next_event_ < events_.size(); }
+  /// Is an unapplied event due at or before `cycle`?
+  bool due(std::uint64_t cycle) const noexcept {
+    return has_pending() && events_[next_event_].cycle <= cycle;
+  }
+  /// Apply every event due at `cycle`; returns true if anything failed.
+  bool advance_to(std::uint64_t cycle);
+
+  bool router_failed(int router) const { return router_failed_[static_cast<size_t>(router)] != 0; }
+  /// Failed directed link out of `router` through network port `port`.
+  bool link_failed(int router, int port) const {
+    return link_failed_[static_cast<size_t>(router)][static_cast<size_t>(port)] != 0;
+  }
+
+  int failed_links() const noexcept { return failed_links_; }      ///< undirected count
+  int failed_routers() const noexcept { return failed_routers_; }
+
+ private:
+  void fail_random_links(int count);
+  void fail_random_routers(int count);
+
+  const Topology* topo_;
+  std::vector<FaultEvent> events_;
+  std::size_t next_event_ = 0;
+  std::vector<std::uint8_t> router_failed_;
+  std::vector<std::vector<std::uint8_t>> link_failed_;  // [router][net port]
+  common::Rng rng_;
+  int failed_links_ = 0;
+  int failed_routers_ = 0;
+};
+
+}  // namespace nocdvfs::topo

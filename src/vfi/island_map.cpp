@@ -1,6 +1,7 @@
 #include "vfi/island_map.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,10 +20,13 @@ const char* to_string(Preset preset) noexcept {
 }
 
 Preset preset_from_string(const std::string& name) {
+  std::string lowered = name;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   constexpr Preset kAll[] = {Preset::Global,    Preset::Rows,   Preset::Cols,
                              Preset::Quadrants, Preset::PerRouter, Preset::Custom};
   for (const Preset p : kAll) {
-    if (name == to_string(p)) return p;
+    if (lowered == to_string(p)) return p;
   }
   std::ostringstream os;
   os << "islands: unknown preset '" << name << "' (valid:";

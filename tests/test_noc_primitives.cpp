@@ -255,8 +255,22 @@ TEST(Routing, EveryPairReachesDestinationMinimally) {
 TEST(Routing, StringConversions) {
   EXPECT_EQ(routing_algo_from_string("xy"), RoutingAlgo::XY);
   EXPECT_EQ(routing_algo_from_string("yx"), RoutingAlgo::YX);
-  EXPECT_THROW(routing_algo_from_string("adaptive"), std::invalid_argument);
+  EXPECT_EQ(routing_algo_from_string("adaptive"), RoutingAlgo::Adaptive);
+  EXPECT_EQ(routing_algo_from_string("ugal"), RoutingAlgo::Ugal);
+  // Case-insensitive, and unknown names report the offender + valid set.
+  EXPECT_EQ(routing_algo_from_string("XY"), RoutingAlgo::XY);
+  EXPECT_EQ(routing_algo_from_string("UGAL"), RoutingAlgo::Ugal);
+  try {
+    routing_algo_from_string("westfirst");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("westfirst"), std::string::npos);
+    EXPECT_NE(msg.find("valid"), std::string::npos);
+  }
   EXPECT_STREQ(to_string(RoutingAlgo::XY), "xy");
+  EXPECT_STREQ(to_string(RoutingAlgo::Adaptive), "adaptive");
+  EXPECT_STREQ(to_string(RoutingAlgo::Ugal), "ugal");
 }
 
 // ------------------------------------------------------------ channel ----

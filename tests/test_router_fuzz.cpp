@@ -244,6 +244,134 @@ INSTANTIATE_TEST_SUITE_P(Meshes, ActivityFuzz,
                                   std::to_string(info.param.seed);
                          });
 
+// --- topology / fault-reroute fuzz ----------------------------------------
+//
+// Bursty uniform-random traffic over every topology kind and routing
+// algorithm, with link/router faults firing mid-burst. Properties checked
+// every cycle:
+//
+//   * fault-aware conservation: generated == ejected + in-network +
+//     source backlog + dropped (NI-refused plus router-drained) — a fault
+//     may destroy flits but never lose them from the ledger;
+//   * progress watchdog: while anything is in flight, the ejected+dropped
+//     ledger must advance within a bounded window (a routing cycle or a
+//     credit deadlock would stall it forever);
+//   * full drain: after the burst, everything generated is either
+//     delivered or accounted as dropped, and the network empties.
+
+struct TopologyFuzzParams {
+  topo::TopologyKind kind;
+  int width;
+  int height;
+  int concentration;
+  RoutingAlgo routing;
+  int num_vcs;
+  const char* faults;  ///< "" = fault-free
+  std::uint64_t seed;
+};
+
+class TopologyFuzz : public ::testing::TestWithParam<TopologyFuzzParams> {};
+
+TEST_P(TopologyFuzz, FaultAwareConservationAndProgress) {
+  const TopologyFuzzParams p = GetParam();
+  NetworkConfig cfg;
+  cfg.width = p.width;
+  cfg.height = p.height;
+  cfg.topology = p.kind;
+  cfg.concentration = p.concentration;
+  cfg.routing = p.routing;
+  cfg.num_vcs = p.num_vcs;
+  cfg.vc_buffer_depth = 2;  // shallow: credit backpressure everywhere
+  cfg.faults = p.faults;
+  cfg.fault_seed = p.seed;
+  Network net(cfg);
+
+  common::Rng rng(p.seed);
+  const int n = cfg.num_nodes();
+  bool burst = false;
+  int phase_left = 0;
+
+  const std::uint64_t active_cycles = 3000;
+  const std::uint64_t max_cycles = 30000;
+  constexpr std::uint64_t kWatchdogCycles = 2000;
+  std::uint64_t last_progress_cycle = 0;
+  std::uint64_t last_ledger = 0;
+
+  std::uint64_t c = 1;
+  for (; c <= max_cycles; ++c) {
+    if (c <= active_cycles) {
+      if (phase_left == 0) {
+        burst = !burst;
+        phase_left = burst ? 5 + static_cast<int>(rng.uniform_below(36))
+                           : 20 + static_cast<int>(rng.uniform_below(101));
+      }
+      --phase_left;
+      if (burst && rng.bernoulli(0.7)) {
+        const auto src = static_cast<NodeId>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+        const auto dst = static_cast<NodeId>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+        net.ni(src).enqueue_packet(dst, 5, static_cast<common::Picoseconds>(c) * 1000, c);
+      }
+    }
+    net.step(static_cast<common::Picoseconds>(c) * 1000);
+
+    // Fault-aware conservation, every cycle.
+    ASSERT_EQ(net.total_flits_generated(),
+              net.total_flits_ejected() + net.flits_in_network() +
+                  net.total_source_backlog_flits() + net.total_flits_dropped())
+        << "conservation violated at cycle " << c;
+
+    // Watchdog: anything in flight must keep the ledger moving.
+    const std::uint64_t ledger = net.total_flits_ejected() + net.total_flits_dropped();
+    const std::uint64_t outstanding =
+        net.flits_in_network() + net.total_source_backlog_flits();
+    if (ledger != last_ledger || outstanding == 0) {
+      last_ledger = ledger;
+      last_progress_cycle = c;
+    }
+    ASSERT_LT(c - last_progress_cycle, kWatchdogCycles)
+        << "no ejection/drop progress since cycle " << last_progress_cycle << " with "
+        << outstanding << " flits outstanding — routing cycle or credit deadlock";
+
+    if (c > active_cycles && outstanding == 0) break;
+  }
+
+  // Full drain: everything generated was delivered or accounted as dropped.
+  ASSERT_LE(c, max_cycles) << "network failed to drain";
+  EXPECT_EQ(net.total_flits_generated(),
+            net.total_flits_ejected() + net.total_flits_dropped());
+  EXPECT_EQ(net.flits_in_network(), 0u);
+  EXPECT_GT(net.total_packets_ejected(), 0u);
+  if (cfg.faults.empty()) {
+    EXPECT_EQ(net.total_flits_dropped(), 0u);
+  } else {
+    // The fault fired and the reroute machinery engaged.
+    EXPECT_GT(net.failed_links() + net.failed_routers(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TopologyFuzz,
+    ::testing::Values(
+        TopologyFuzzParams{topo::TopologyKind::Torus, 4, 4, 1, RoutingAlgo::XY, 2, "", 31},
+        TopologyFuzzParams{topo::TopologyKind::Torus, 4, 4, 1, RoutingAlgo::Adaptive, 3,
+                           "links:2@1000", 32},
+        TopologyFuzzParams{topo::TopologyKind::Torus, 4, 4, 1, RoutingAlgo::Ugal, 4,
+                           "links:1@500+routers:1@2000", 33},
+        TopologyFuzzParams{topo::TopologyKind::Cmesh, 4, 4, 4, RoutingAlgo::XY, 1,
+                           "routers:1@1500", 34},
+        TopologyFuzzParams{topo::TopologyKind::Cmesh, 6, 4, 2, RoutingAlgo::Adaptive, 2,
+                           "links:2@0", 35},
+        TopologyFuzzParams{topo::TopologyKind::Dragonfly, 4, 3, 1, RoutingAlgo::XY, 2, "",
+                           36},
+        TopologyFuzzParams{topo::TopologyKind::Dragonfly, 6, 4, 2, RoutingAlgo::Ugal, 4,
+                           "links:1@1000", 37},
+        TopologyFuzzParams{topo::TopologyKind::Mesh, 4, 4, 1, RoutingAlgo::Adaptive, 2,
+                           "routers:1@1000", 38}),
+    [](const ::testing::TestParamInfo<TopologyFuzzParams>& info) {
+      return std::string(topo::to_string(info.param.kind)) + "_" +
+             to_string(info.param.routing) + "_s" + std::to_string(info.param.seed);
+    });
+
 INSTANTIATE_TEST_SUITE_P(Shapes, RouterFuzz,
                          ::testing::Values(FuzzParams{1, 1, 11}, FuzzParams{2, 2, 12},
                                            FuzzParams{4, 4, 13}, FuzzParams{8, 2, 14},
