@@ -95,6 +95,10 @@ int main(int argc, char** argv) {
   auto anchored_base = [&] {
     sim::Scenario s = h.scenario();
     s.lambda = 0.6 * anchors.lambda_sat;
+    // Sweeps share one base scenario; a telemetry_out here would collide
+    // across points (the sweep rejects duplicate export basenames). The
+    // dedicated export run below honours it instead.
+    s.telemetry_out.clear();
     return bench::anchored(s, anchors);
   };
   std::cout << "lambda_sat(mesh) = " << common::Table::fmt(anchors.lambda_sat, 3)
@@ -158,6 +162,23 @@ int main(int argc, char** argv) {
     }
   }
   ftable.print(std::cout);
+
+  // --- dedicated telemetry export run -------------------------------------
+  // With telemetry= and telemetry_out= set, re-run the most eventful cell
+  // of the matrix (faulted torus under RMSD) once and export its timeline
+  // — the artifact CI uploads and `nocdvfs_report` renders.
+  if (h.scenario().telemetry != "off" && !h.scenario().telemetry_out.empty()) {
+    sim::Scenario s = anchored_base();
+    s.network.topology = topo::TopologyKind::Torus;
+    s.network.faults = "links:2@0";
+    s.policy.policy = sim::Policy::Rmsd;
+    s.telemetry = h.scenario().telemetry;
+    s.telemetry_out = h.scenario().telemetry_out;
+    const sim::RunResult r = sim::run(s);
+    std::cout << "\ntelemetry export (torus links:2@0 rmsd): " << s.telemetry_out
+              << ".nocobs + .json   windows=" << r.telemetry.windows
+              << "   busy_vc_cycles=" << r.telemetry.busy_vc_cycles << "\n";
+  }
 
   // Baseline rows for the CI identity check: the same policy sweep built
   // from a Scenario whose topology keys are never touched. Bit-equal to

@@ -1,11 +1,29 @@
 #include "common/log.hpp"
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace nocdvfs::common {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Guards sink emission and sink replacement: one formatted line per
+/// sink call, never interleaved across threads.
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = default stderr/stdlog sink
+  return sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,14 +35,55 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// "HH:MM:SS.mmm" wall-clock (UTC), from epoch arithmetic — no localtime
+/// (not thread-safe on all platforms) and no locale machinery.
+void append_timestamp(std::string& out) {
+  using namespace std::chrono;
+  const auto since_epoch = system_clock::now().time_since_epoch();
+  const std::uint64_t ms_total =
+      static_cast<std::uint64_t>(duration_cast<milliseconds>(since_epoch).count());
+  const std::uint64_t ms = ms_total % 1000;
+  const std::uint64_t sec_of_day = (ms_total / 1000) % 86400;
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02u:%02u:%02u.%03u",
+                static_cast<unsigned>(sec_of_day / 3600),
+                static_cast<unsigned>((sec_of_day / 60) % 60),
+                static_cast<unsigned>(sec_of_day % 60), static_cast<unsigned>(ms));
+  out += buf;
+}
+
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level; }
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  LogSink previous = std::move(sink_slot());
+  sink_slot() = std::move(sink);
+  return previous;
+}
 
 void log_message(LogLevel level, const std::string& msg) {
+  std::string line;
+  line.reserve(msg.size() + 24);
+  line += '[';
+  line += level_name(level);
+  line += ' ';
+  append_timestamp(line);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(log_mutex());
+  if (sink_slot()) {
+    sink_slot()(level, line);
+    return;
+  }
   std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::clog;
-  os << '[' << level_name(level) << "] " << msg << '\n';
+  os << line;
 }
 
 }  // namespace nocdvfs::common

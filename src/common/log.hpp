@@ -3,18 +3,41 @@
 /// \file log.hpp
 /// Minimal leveled logger. Benches run with Warn by default; tests that
 /// exercise controller transients bump to Debug to inspect traces.
+///
+/// Thread safety: `log_message` serializes emission under a global mutex
+/// (sweep workers log concurrently), and the formatted line — level tag,
+/// wall-clock timestamp, message, newline — reaches the sink in one call,
+/// so concurrent lines never interleave. The level check in the
+/// `log_*` templates stays a branch-free relaxed-atomic load, so the
+/// common single-threaded case (messages below the threshold) pays one
+/// predictable compare and never touches the mutex.
 
+#include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace nocdvfs::common {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global log threshold (not thread-safe by design: the simulator is
-/// single-threaded; benches set it once at startup).
+/// Global log threshold. Reads are relaxed atomic loads — safe to call
+/// from sweep worker threads while the main thread never rewrites it
+/// mid-sweep (set it once at startup, like the benches do).
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Receives one fully formatted line (terminating '\n' included) per
+/// log_message call, under the emission mutex — a sink needs no locking
+/// of its own. The level is passed separately for sinks that split
+/// streams or filter.
+using LogSink = std::function<void(LogLevel, std::string_view line)>;
+
+/// Replace the sink (empty restores the default stderr/stdlog sink).
+/// Returns the previous sink. Serialized against in-flight log_message
+/// calls by the same mutex.
+LogSink set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, const std::string& msg);
 

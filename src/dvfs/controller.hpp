@@ -60,6 +60,12 @@ class DvfsController {
 
   virtual const char* name() const noexcept = 0;
 
+  /// The most recent normalized error term the policy acted on (telemetry
+  /// / observability hook): PI policies report E_n, rate policies the
+  /// deviation of the measured network load from λ_max. Policies without a
+  /// meaningful error (e.g. the no-DVFS baseline) report 0.
+  virtual double last_error() const noexcept { return 0.0; }
+
   /// Restore initial controller state (PI integrator, etc.).
   virtual void reset() {}
 };

@@ -43,7 +43,7 @@ class DmsdController final : public DvfsController {
 
   const DmsdConfig& config() const noexcept { return cfg_; }
   double control_variable() const noexcept { return u_; }
-  double last_error() const noexcept { return e_prev_; }
+  double last_error() const noexcept override { return e_prev_; }
 
  private:
   DmsdConfig cfg_;

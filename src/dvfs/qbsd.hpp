@@ -42,6 +42,7 @@ class QbsdController final : public DvfsController {
 
   const QbsdConfig& config() const noexcept { return cfg_; }
   double control_variable() const noexcept { return u_; }
+  double last_error() const noexcept override { return e_prev_; }
 
  private:
   QbsdConfig cfg_;

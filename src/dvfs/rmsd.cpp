@@ -11,6 +11,7 @@ RmsdController::RmsdController(const RmsdConfig& cfg) : cfg_(cfg) {
 }
 
 common::Hertz RmsdController::update(const ControlContext& ctx, const WindowMeasurements& m) {
+  e_prev_ = (m.lambda_noc_injected - cfg_.lambda_max) / cfg_.lambda_max;
   if (cfg_.mode == RmsdConfig::Mode::OpenLoop) {
     // Eq. (2): scale the node clock by the measured offered rate. A silent
     // window (no offered traffic) requests the bottom of the range.

@@ -42,11 +42,15 @@ class RmsdController final : public DvfsController {
   const char* name() const noexcept override {
     return cfg_.mode == RmsdConfig::Mode::OpenLoop ? "rmsd" : "rmsd-closed";
   }
+  /// Deviation of the measured network load from the λ_max anchor,
+  /// normalized by λ_max — positive when the network runs hot.
+  double last_error() const noexcept override { return e_prev_; }
 
   const RmsdConfig& config() const noexcept { return cfg_; }
 
  private:
   RmsdConfig cfg_;
+  double e_prev_ = 0.0;
 };
 
 }  // namespace nocdvfs::dvfs

@@ -114,6 +114,7 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
       if (!far.valid()) continue;
       const int dst_island = router_island_[static_cast<std::size_t>(far.router)];
       islands_[static_cast<std::size_t>(src_island)].links_sourced += 1;
+      net_links_.push_back(obs::LinkInfo{r, p, far.router});
       FlitPort* flit_ch = nullptr;
       CreditPort* credit_ch = nullptr;
       if (src_island == dst_island) {
@@ -172,18 +173,21 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
   if (faults_) {
     reachable_fn_ = [this](NodeId src, NodeId dst) { return engine_->reachable(src, dst); };
     for (auto& ni : nis_) ni->set_reachability(&reachable_fn_);
-    if (faults_->due(0)) apply_due_faults(0);
+    if (faults_->due(0)) apply_due_faults(0, 0);
     fault_pending_ = faults_->has_pending();
   }
 }
 
-void Network::apply_due_faults(std::uint64_t cycle) {
+void Network::apply_due_faults(std::uint64_t cycle, common::Picoseconds now) {
   faults_->advance_to(cycle);
   engine_->rebuild_tables();
   if (engine_->hook_active()) {
     for (auto& r : routers_) r->set_traverse_hook(true);
   }
   fault_pending_ = faults_->has_pending();
+  fault_epochs_.push_back(FaultEpochRecord{cycle, now, faults_->failed_links(),
+                                           faults_->failed_routers(), engine_->rerouted_pairs(),
+                                           engine_->unreachable_pairs()});
 }
 
 FlitChannel& Network::new_flit_channel(int latency, int island) {
@@ -260,7 +264,7 @@ void Network::run_island_phases(int island, common::Picoseconds now) {
   const std::uint64_t cycle = island_cycles_[static_cast<std::size_t>(island)];
   // Fault epochs are keyed to island 0's clock; fire them before the
   // phases of the cycle they are due.
-  if (fault_pending_ && island == 0 && faults_->due(cycle)) apply_due_faults(cycle);
+  if (fault_pending_ && island == 0 && faults_->due(cycle)) apply_due_faults(cycle, now);
   // `active` is sorted ascending, so with skip-idle on the awake tiles are
   // phased in exactly the order the tile loops would visit them — the
   // delivery order (and every float accumulation downstream of it) cannot
@@ -508,6 +512,98 @@ std::uint64_t Network::flits_in_network() const {
   for (const auto& ch : flit_channels_) n += ch.in_flight();
   for (const auto& ch : cdc_flit_channels_) n += ch.in_flight();
   return n;
+}
+
+void Network::set_stall_tracking(bool on) {
+  for (auto& r : routers_) r->set_stall_tracking(on);
+}
+
+std::uint64_t Network::island_cdc_flit_occupancy(int island) const {
+  const Island& isl = islands_.at(static_cast<std::size_t>(island));
+  std::uint64_t n = 0;
+  for (const FlitCdcFifo* ch : isl.cdc_flit_in) n += ch->in_flight();
+  return n;
+}
+
+void Network::register_telemetry(obs::TelemetryRegistry& reg, bool full) const {
+  using obs::MetricScope;
+  const int nr = num_routers();
+  const int nn = num_nodes();
+  const int ni_count = num_islands();
+
+  // Tile scope: the router-side story. The stall columns are all zero
+  // unless stall tracking is on, but registering them unconditionally
+  // keeps the timeline schema independent of the mode.
+  reg.register_counter("flits_forwarded", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->activity().crossbar_traversals;
+  });
+  reg.register_counter("flits_dropped", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->dropped_flits();
+  });
+  reg.register_counter("stall_route", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->stalls().route;
+  });
+  reg.register_counter("stall_vc_alloc", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->stalls().vc_alloc;
+  });
+  reg.register_counter("stall_switch", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->stalls().sw;
+  });
+  reg.register_counter("stall_credit", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->stalls().credit;
+  });
+  reg.register_counter("stall_drop", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->stalls().drop;
+  });
+  reg.register_counter("busy_vc_cycles", MetricScope::Tile, nr, [this](int r) {
+    return routers_[static_cast<std::size_t>(r)]->stalls().busy_vc_cycles;
+  });
+  reg.register_gauge("buffer_occupancy", MetricScope::Tile, nr, [this](int r) {
+    return static_cast<double>(routers_[static_cast<std::size_t>(r)]->buffered_now());
+  });
+
+  // Node scope: the NI-side story (distinct from tiles on concentrated
+  // topologies).
+  reg.register_counter("flits_generated", MetricScope::Node, nn, [this](int n) {
+    return nis_[static_cast<std::size_t>(n)]->flits_generated();
+  });
+  reg.register_counter("flits_injected", MetricScope::Node, nn, [this](int n) {
+    return nis_[static_cast<std::size_t>(n)]->flits_injected();
+  });
+  reg.register_counter("flits_ejected", MetricScope::Node, nn, [this](int n) {
+    return nis_[static_cast<std::size_t>(n)]->flits_ejected();
+  });
+  reg.register_counter("refused_packets", MetricScope::Node, nn, [this](int n) {
+    return nis_[static_cast<std::size_t>(n)]->dropped_packets();
+  });
+  reg.register_counter("refused_flits", MetricScope::Node, nn, [this](int n) {
+    return nis_[static_cast<std::size_t>(n)]->dropped_flits();
+  });
+  reg.register_gauge("source_backlog", MetricScope::Node, nn, [this](int n) {
+    return static_cast<double>(nis_[static_cast<std::size_t>(n)]->source_backlog_flits());
+  });
+  reg.register_gauge("peak_source_backlog", MetricScope::Node, nn, [this](int n) {
+    return static_cast<double>(nis_[static_cast<std::size_t>(n)]->peak_source_backlog_flits());
+  });
+
+  // Island scope: clock-domain-crossing pressure.
+  reg.register_gauge("cdc_occupancy", MetricScope::Island, ni_count,
+                     [this](int i) { return static_cast<double>(island_cdc_flit_occupancy(i)); });
+
+  if (full && !net_links_.empty()) {
+    const int nl = static_cast<int>(net_links_.size());
+    reg.register_counter("link_flits", MetricScope::Link, nl, [this](int l) {
+      const obs::LinkInfo& link = net_links_[static_cast<std::size_t>(l)];
+      return routers_[static_cast<std::size_t>(link.src_router)]->port_flits_forwarded(
+          link.src_port);
+    });
+    reg.register_gauge("link_backlog", MetricScope::Link, nl, [this](int l) {
+      const obs::LinkInfo& link = net_links_[static_cast<std::size_t>(l)];
+      return static_cast<double>(
+          routers_[static_cast<std::size_t>(link.src_router)]->downstream_backlog(
+              link.src_port));
+    });
+  }
 }
 
 }  // namespace nocdvfs::noc

@@ -44,6 +44,7 @@
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "power/activity.hpp"
 #include "power/power_model.hpp"
 #include "topo/fault_model.hpp"
@@ -191,6 +192,34 @@ class Network : public WakeSink {
   int failed_links() const noexcept { return faults_ ? faults_->failed_links() : 0; }
   int failed_routers() const noexcept { return faults_ ? faults_->failed_routers() : 0; }
 
+  /// One record per fired fault epoch (including at-start failures, at
+  /// t_ps 0), with the fault/reroute totals after the table rebuild —
+  /// telemetry drains these into the event timeline.
+  struct FaultEpochRecord {
+    std::uint64_t cycle = 0;          ///< island-0 cycle the epoch fired on
+    common::Picoseconds t_ps = 0;
+    int failed_links = 0;
+    int failed_routers = 0;
+    long long rerouted_pairs = 0;
+    long long unreachable_pairs = 0;
+  };
+  const std::vector<FaultEpochRecord>& fault_epochs() const noexcept { return fault_epochs_; }
+
+  // --- telemetry (src/obs/) ---
+  /// Enable/disable the per-router stall-cause taxonomy network-wide.
+  void set_stall_tracking(bool on);
+  /// Directed inter-router links in wiring order — the entity table behind
+  /// every link-scoped metric.
+  const std::vector<obs::LinkInfo>& link_table() const noexcept { return net_links_; }
+  /// Flits queued in the boundary CDC fifos island `island` reads.
+  std::uint64_t island_cdc_flit_occupancy(int island) const;
+  /// Register this network's counters and gauges: tile-scoped router
+  /// counters (forwarded flits, stall taxonomy, drops) and occupancy
+  /// gauges, node-scoped NI counters (generation, ejection, refusals) and
+  /// backlog gauges, island-scoped CDC occupancy — plus, with `full`, the
+  /// per-directed-link forwarded-flit counters and backlog gauges.
+  void register_telemetry(obs::TelemetryRegistry& registry, bool full) const;
+
   /// Packets delivered since the caller last cleared this vector.
   std::vector<PacketRecord>& delivered() noexcept { return delivered_; }
 
@@ -272,9 +301,9 @@ class Network : public WakeSink {
   /// buffers, idle NIs, nothing in flight on any channel the tile reads.
   void park_quiescent(Island& isl);
   bool tile_quiescent(NodeId tile) const;
-  /// Fire every fault event due at island-0 cycle `cycle` and rebuild the
-  /// reroute tables.
-  void apply_due_faults(std::uint64_t cycle);
+  /// Fire every fault event due at island-0 cycle `cycle` (master time
+  /// `now`) and rebuild the reroute tables.
+  void apply_due_faults(std::uint64_t cycle, common::Picoseconds now);
 
   NetworkConfig cfg_;
   MeshTopology topo_;  ///< NI-grid view (legacy accessor; mesh routing)
@@ -299,6 +328,8 @@ class Network : public WakeSink {
   std::vector<Island> islands_;
   std::vector<std::uint64_t> island_cycles_;
   int num_boundary_links_ = 0;
+  std::vector<obs::LinkInfo> net_links_;  ///< directed links in wiring order
+  std::vector<FaultEpochRecord> fault_epochs_;
 
   bool skip_idle_ = true;
   std::vector<std::uint8_t> node_awake_;  ///< per tile: on an active/newly_awake list

@@ -57,6 +57,9 @@ void NetworkInterface::enqueue_packet(NodeId dst, int size_flits,
   source_queue_.push_back(p);
   ++packets_generated_;
   flits_generated_ += static_cast<std::uint64_t>(size_flits);
+  if (const std::uint64_t backlog = source_backlog_flits(); backlog > peak_backlog_flits_) {
+    peak_backlog_flits_ = backlog;
+  }
   if (wake_ != nullptr) wake_->wake(wake_id_);
   if (injection_observer_) (*injection_observer_)(node_, dst, size_flits, traffic_class);
 }

@@ -105,6 +105,10 @@ class NetworkInterface {
   /// active fault set (counted generated too — conservation keeps closing).
   std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
   std::uint64_t dropped_flits() const noexcept { return dropped_flits_; }
+  /// High-water mark of `source_backlog_flits()`, updated at enqueue time
+  /// (the only instant the backlog grows) — a telemetry gauge of the worst
+  /// queueing this node ever saw.
+  std::uint64_t peak_source_backlog_flits() const noexcept { return peak_backlog_flits_; }
   const power::ActivityCounters& activity() const noexcept { return activity_; }
 
  private:
@@ -153,6 +157,7 @@ class NetworkInterface {
   std::uint64_t packets_ejected_ = 0;
   std::uint64_t dropped_packets_ = 0;
   std::uint64_t dropped_flits_ = 0;
+  std::uint64_t peak_backlog_flits_ = 0;
   power::ActivityCounters activity_;
 };
 

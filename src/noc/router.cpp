@@ -115,9 +115,69 @@ void Router::receive_phase() {
 }
 
 void Router::compute_phase() {
+  if (stall_tracking_ && (buffered_total_ > 0 || drop_pending_ > 0)) {
+    compute_phase_tracked();
+    return;
+  }
   if (drop_pending_ > 0) credit_pushed_.fill(0);
   if (buffered_total_ > 0) switch_allocation_and_traversal();
   if (drop_pending_ > 0) drain_drops();
+  if (waiting_count_ > 0) vc_allocation();
+  if (rc_pending_ > 0) route_computation();
+}
+
+void Router::compute_phase_tracked() {
+  // Pre-classify every busy VC before any stage runs: what could this VC
+  // have done this cycle? The classification is exact because nothing a
+  // stage does can retroactively change it — credits only replenish in
+  // receive_phase, VA/RC run *after* SA, an RC-created Drop VC cannot
+  // drain in the same cycle, and the drain stage only empties
+  // pre-classified Drop VCs.
+  std::uint64_t n_route = 0, n_va = 0, n_credit = 0, n_eligible = 0, n_drop = 0;
+  for (const int p : wired_in_) {
+    const auto& ip = in_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < cfg_.num_vcs; ++v) {
+      const auto& ivc = ip.vcs[static_cast<std::size_t>(v)];
+      if (ivc.buffer.empty()) continue;
+      switch (ivc.state) {
+        case VcStateKind::Idle: ++n_route; break;
+        case VcStateKind::Waiting: ++n_va; break;
+        case VcStateKind::Active: {
+          const auto& ovc = out_[static_cast<std::size_t>(ivc.out_port)]
+                                .vcs[static_cast<std::size_t>(ivc.out_vc)];
+          if (ovc.credits > 0) {
+            ++n_eligible;
+          } else {
+            ++n_credit;
+          }
+          break;
+        }
+        case VcStateKind::Drop: ++n_drop; break;
+      }
+    }
+  }
+
+  const std::uint64_t grants_before = activity_.sw_alloc_grants;
+  const std::uint64_t drops_before = dropped_flits_;
+  if (drop_pending_ > 0) credit_pushed_.fill(0);
+  if (buffered_total_ > 0) switch_allocation_and_traversal();
+  if (drop_pending_ > 0) drain_drops();
+
+  // Each SA grant consumed one pre-classified eligible VC (the allocator
+  // never grants an input port twice per cycle), each drain emptied one
+  // flit from a pre-classified Drop VC; the rest of each class stalled.
+  const std::uint64_t granted = activity_.sw_alloc_grants - grants_before;
+  const std::uint64_t drained = dropped_flits_ - drops_before;
+  NOCDVFS_ASSERT(granted <= n_eligible, "SA granted more VCs than were eligible");
+  NOCDVFS_ASSERT(drained <= n_drop, "drained more Drop VCs than were buffered");
+  stalls_.route += n_route;
+  stalls_.vc_alloc += n_va;
+  stalls_.credit += n_credit;
+  stalls_.sw += n_eligible - granted;
+  stalls_.drop += n_drop - drained;
+  stalls_.busy_vc_cycles += n_route + n_va + n_credit + n_eligible + n_drop;
+  stalls_.forwarded += granted + drained;
+
   if (waiting_count_ > 0) vc_allocation();
   if (rc_pending_ > 0) route_computation();
 }
@@ -195,6 +255,7 @@ void Router::traverse(int in_port, int in_vc) {
   }
   ++activity_.buffer_reads;
   ++activity_.crossbar_traversals;
+  ++port_flits_tx_[static_cast<std::size_t>(ivc.out_port)];
 
   NOCDVFS_ASSERT(ovc.credits > 0, "switch traversal without credit");
   --ovc.credits;

@@ -58,6 +58,30 @@ enum class VcStateKind : std::uint8_t {
   Drop,     ///< unroutable under faults; buffer drains to the drop counters
 };
 
+/// Why a buffered flit did *not* advance, attributed per VC-cycle. Every
+/// cycle, every VC holding at least one flit contributes exactly one count:
+/// either it forwarded a flit (`forwarded`) or it stalled for exactly one
+/// of the taxonomy reasons — so the exact conservation law
+///
+///     busy_vc_cycles == forwarded + route + vc_alloc + credit + sw + drop
+///
+/// holds at all times, and `forwarded` equals crossbar traversals plus
+/// drop-drained flits (asserted in test_obs). Maintained only under
+/// `set_stall_tracking(true)`; the classification happens before the
+/// pipeline stages run, so the attribution reflects what the VC could have
+/// done this cycle, not what later stages changed.
+struct RouterStallCounters {
+  std::uint64_t route = 0;     ///< Idle with a buffered head: awaiting RC
+  std::uint64_t vc_alloc = 0;  ///< Waiting: routed, no output VC granted yet
+  std::uint64_t credit = 0;    ///< Active but the held output VC has no credits
+  std::uint64_t sw = 0;        ///< switch-eligible, lost switch allocation
+  std::uint64_t drop = 0;      ///< Drop VC whose flits were not drained this cycle
+  std::uint64_t busy_vc_cycles = 0;  ///< VC-cycles with >= 1 buffered flit
+  std::uint64_t forwarded = 0;       ///< SA grants + drop drains
+
+  std::uint64_t stall_sum() const noexcept { return route + vc_alloc + credit + sw + drop; }
+};
+
 class Router : public topo::RouterView {
  public:
   /// Legacy mesh form: radix 5, port peers and XY/YX routes derived from
@@ -101,6 +125,12 @@ class Router : public topo::RouterView {
   /// Fault mode: every traversed flit is reported to the engine (up*/down*
   /// phase tracking). Toggled by Network on fault epochs.
   void set_traverse_hook(bool active) noexcept { traverse_hook_ = active; }
+  /// Enable the per-cycle stall-cause taxonomy (telemetry). Off by default:
+  /// the hot path then pays a single predictable branch per compute_phase.
+  /// Enable before the first cycle for the `forwarded == traversals +
+  /// drops` identity to hold from counter zero.
+  void set_stall_tracking(bool on) noexcept { stall_tracking_ = on; }
+  bool stall_tracking() const noexcept { return stall_tracking_; }
 
   /// Phase 1 of a network cycle: latch arriving credits and flits.
   void receive_phase();
@@ -134,6 +164,14 @@ class Router : public topo::RouterView {
   /// active fault set (counted when the flit leaves the buffer).
   std::uint64_t dropped_flits() const noexcept { return dropped_flits_; }
   std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
+  /// Stall-cause taxonomy (all zero unless stall tracking is enabled).
+  const RouterStallCounters& stalls() const noexcept { return stalls_; }
+  /// Flits that left through output port `port` (crossbar traversals only,
+  /// not drop drains) — the per-directed-link heatmap source. Always
+  /// maintained: one array increment inside the traversal bookkeeping.
+  std::uint64_t port_flits_forwarded(int port) const {
+    return port_flits_tx_[static_cast<std::size_t>(port)];
+  }
 
  private:
   struct InputVc {
@@ -168,6 +206,10 @@ class Router : public topo::RouterView {
   void vc_allocation();
   void route_computation();
   void traverse(int in_port, int in_vc);
+  /// compute_phase with the stall pre-classification wrapped around the
+  /// same stage sequence (only entered when tracking is on and there is
+  /// buffered or droppable work).
+  void compute_phase_tracked();
 
   NodeId id_;
   const MeshTopology* topo_;  ///< legacy mesh routing (null with an engine)
@@ -205,9 +247,13 @@ class Router : public topo::RouterView {
 
   bool adaptive_escape_ = false;  ///< engine wants VA-starvation re-routes
   bool traverse_hook_ = false;    ///< report traversals to the engine
+  bool stall_tracking_ = false;   ///< telemetry wants the stall taxonomy
   int first_local_port_ = 0;      ///< ports >= this are NI-local
   std::uint64_t dropped_flits_ = 0;
   std::uint64_t dropped_packets_ = 0;
+  RouterStallCounters stalls_;
+  /// Flits forwarded per output port (always-on; feeds link heatmaps).
+  std::array<std::uint64_t, kMaxPorts> port_flits_tx_{};
 
   WakeSink* wake_ = nullptr;
   /// Per port: the tile whose clock reads channels behind it (the

@@ -1,0 +1,312 @@
+#include "obs/timeline.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace nocdvfs::obs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4F434F4E;  // 'N' 'O' 'C' 'O' little-endian
+
+// ---- binary primitives ----------------------------------------------------
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void put_str(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("timeline: truncated file");
+  return value;
+}
+
+std::string get_str(std::istream& is) {
+  const auto n = get<std::uint32_t>(is);
+  if (n > (1u << 20)) throw std::runtime_error("timeline: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("timeline: truncated file");
+  return s;
+}
+
+// ---- JSON helpers ---------------------------------------------------------
+
+double to_us(std::uint64_t t_ps) { return static_cast<double>(t_ps) * 1e-6; }
+
+void json_str(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Emits one trace event object; `first` tracks the array comma.
+class EventArray {
+ public:
+  explicit EventArray(std::ostream& os) : os_(os) { os_ << "[\n"; }
+  std::ostream& next() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "  ";
+    return os_;
+  }
+  void close() { os_ << "\n]"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_timeline_binary(const Timeline& tl, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("timeline: cannot open '" + path + "' for writing");
+
+  put<std::uint32_t>(os, kMagic);
+  put<std::uint32_t>(os, Timeline::kVersion);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.width));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.height));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.num_routers));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.num_islands));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.concentration));
+  put<double>(os, tl.f_node_hz);
+  put<std::uint64_t>(os, tl.control_period_node_cycles);
+
+  for (int i = 0; i < tl.num_islands; ++i) {
+    put_str(os, i < static_cast<int>(tl.island_policy.size()) ? tl.island_policy[i] : "");
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(
+                               i < static_cast<int>(tl.island_nodes.size()) ? tl.island_nodes[i] : 0));
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.window_t_ps.size()));
+  for (const std::uint64_t t : tl.window_t_ps) put<std::uint64_t>(os, t);
+
+  for (const IslandWindowRow& row : tl.island_rows) {
+    put<double>(os, row.f_hz);
+    put<double>(os, row.vdd);
+    put<double>(os, row.avg_delay_ns);
+    put<double>(os, row.lambda_offered);
+    put<double>(os, row.occupancy);
+    put<double>(os, row.ctrl_error);
+    put<std::uint8_t>(os, row.throttled);
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.links.size()));
+  for (const LinkInfo& link : tl.links) {
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(link.src_router));
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(link.src_port));
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(link.dst_router));
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.series.size()));
+  for (const MetricSeries& s : tl.series) {
+    put_str(os, s.name);
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(s.scope));
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(s.kind));
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(s.entities));
+    if (s.kind == MetricKind::Counter) {
+      for (const std::uint64_t v : s.counts) put<std::uint64_t>(os, v);
+    } else {
+      for (const double v : s.gauges) put<double>(os, v);
+    }
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.events.size()));
+  for (const TimelineEvent& e : tl.events) {
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(e.kind));
+    put<std::int32_t>(os, e.island);
+    put<std::uint64_t>(os, e.t_ps);
+    put<double>(os, e.a);
+    put<double>(os, e.b);
+  }
+
+  os.flush();
+  if (!os) throw std::runtime_error("timeline: write to '" + path + "' failed");
+}
+
+Timeline read_timeline_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("timeline: cannot open '" + path + "'");
+
+  if (get<std::uint32_t>(is) != kMagic) {
+    throw std::runtime_error("timeline: '" + path + "' is not a .nocobs file (bad magic)");
+  }
+  const auto version = get<std::uint32_t>(is);
+  if (version != Timeline::kVersion) {
+    throw std::runtime_error("timeline: unsupported version " + std::to_string(version));
+  }
+
+  Timeline tl;
+  tl.width = static_cast<int>(get<std::uint32_t>(is));
+  tl.height = static_cast<int>(get<std::uint32_t>(is));
+  tl.num_routers = static_cast<int>(get<std::uint32_t>(is));
+  tl.num_islands = static_cast<int>(get<std::uint32_t>(is));
+  tl.concentration = static_cast<int>(get<std::uint32_t>(is));
+  tl.f_node_hz = get<double>(is);
+  tl.control_period_node_cycles = get<std::uint64_t>(is);
+
+  for (int i = 0; i < tl.num_islands; ++i) {
+    tl.island_policy.push_back(get_str(is));
+    tl.island_nodes.push_back(static_cast<int>(get<std::uint32_t>(is)));
+  }
+
+  const auto windows = get<std::uint32_t>(is);
+  tl.window_t_ps.reserve(windows);
+  for (std::uint32_t w = 0; w < windows; ++w) tl.window_t_ps.push_back(get<std::uint64_t>(is));
+
+  const std::size_t rows = static_cast<std::size_t>(windows) * static_cast<std::size_t>(tl.num_islands);
+  tl.island_rows.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    IslandWindowRow row;
+    row.f_hz = get<double>(is);
+    row.vdd = get<double>(is);
+    row.avg_delay_ns = get<double>(is);
+    row.lambda_offered = get<double>(is);
+    row.occupancy = get<double>(is);
+    row.ctrl_error = get<double>(is);
+    row.throttled = get<std::uint8_t>(is);
+    tl.island_rows.push_back(row);
+  }
+
+  const auto num_links = get<std::uint32_t>(is);
+  tl.links.reserve(num_links);
+  for (std::uint32_t l = 0; l < num_links; ++l) {
+    LinkInfo link;
+    link.src_router = static_cast<int>(get<std::uint32_t>(is));
+    link.src_port = static_cast<int>(get<std::uint32_t>(is));
+    link.dst_router = static_cast<int>(get<std::uint32_t>(is));
+    tl.links.push_back(link);
+  }
+
+  const auto num_series = get<std::uint32_t>(is);
+  tl.series.reserve(num_series);
+  for (std::uint32_t si = 0; si < num_series; ++si) {
+    MetricSeries s;
+    s.name = get_str(is);
+    s.scope = static_cast<MetricScope>(get<std::uint8_t>(is));
+    s.kind = static_cast<MetricKind>(get<std::uint8_t>(is));
+    s.entities = static_cast<int>(get<std::uint32_t>(is));
+    const std::size_t n = static_cast<std::size_t>(windows) * static_cast<std::size_t>(s.entities);
+    if (s.kind == MetricKind::Counter) {
+      s.counts.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) s.counts.push_back(get<std::uint64_t>(is));
+    } else {
+      s.gauges.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) s.gauges.push_back(get<double>(is));
+    }
+    tl.series.push_back(std::move(s));
+  }
+
+  const auto num_events = get<std::uint32_t>(is);
+  tl.events.reserve(num_events);
+  for (std::uint32_t e = 0; e < num_events; ++e) {
+    TimelineEvent ev;
+    ev.kind = static_cast<EventKind>(get<std::uint8_t>(is));
+    ev.island = get<std::int32_t>(is);
+    ev.t_ps = get<std::uint64_t>(is);
+    ev.a = get<double>(is);
+    ev.b = get<double>(is);
+    tl.events.push_back(ev);
+  }
+  return tl;
+}
+
+void write_timeline_perfetto(const Timeline& tl, std::ostream& os) {
+  // µs timestamps need the full double mantissa or adjacent windows can
+  // round to the same value and break monotonicity checks.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\"traceEvents\": ";
+  EventArray arr(os);
+
+  // Process metadata: pid 0 is the network, pid i+1 is island i.
+  {
+    auto& o = arr.next();
+    o << R"({"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"network"}})";
+  }
+  for (int i = 0; i < tl.num_islands; ++i) {
+    const std::string policy =
+        i < static_cast<int>(tl.island_policy.size()) ? tl.island_policy[i] : "?";
+    auto& o = arr.next();
+    o << R"({"name":"process_name","ph":"M","pid":)" << (i + 1)
+      << R"(,"tid":0,"args":{"name":)";
+    json_str(o, "island " + std::to_string(i) + " (" + policy + ")");
+    o << "}}";
+  }
+
+  // Control-window spans + frequency counter track, in window order so
+  // every per-track timestamp sequence is non-decreasing.
+  for (int w = 0; w < tl.windows(); ++w) {
+    const std::uint64_t start_ps = w == 0 ? 0 : tl.window_t_ps[static_cast<std::size_t>(w) - 1];
+    const std::uint64_t end_ps = tl.window_t_ps[static_cast<std::size_t>(w)];
+    for (int i = 0; i < tl.num_islands; ++i) {
+      const IslandWindowRow& row = tl.island_row(w, i);
+      {
+        auto& o = arr.next();
+        o << R"({"name":"control window","cat":"control","ph":"X","pid":)" << (i + 1)
+          << R"(,"tid":1,"ts":)" << to_us(start_ps) << R"(,"dur":)"
+          << to_us(end_ps - start_ps) << R"(,"args":{"f_ghz":)" << row.f_hz * 1e-9
+          << R"(,"vdd":)" << row.vdd << R"(,"avg_delay_ns":)" << row.avg_delay_ns
+          << R"(,"lambda_offered":)" << row.lambda_offered << R"(,"occupancy":)"
+          << row.occupancy << R"(,"ctrl_error":)" << row.ctrl_error << R"(,"throttled":)"
+          << static_cast<int>(row.throttled) << "}}";
+      }
+      {
+        auto& o = arr.next();
+        o << R"({"name":"f_ghz","ph":"C","pid":)" << (i + 1) << R"(,"tid":0,"ts":)"
+          << to_us(end_ps) << R"(,"args":{"f_ghz":)" << row.f_hz * 1e-9 << "}}";
+      }
+    }
+  }
+
+  // Instants. Events are recorded in time order already.
+  for (const TimelineEvent& e : tl.events) {
+    const int pid = e.island >= 0 ? e.island + 1 : 0;
+    auto& o = arr.next();
+    o << R"({"name":)";
+    json_str(o, to_string(e.kind));
+    o << R"(,"cat":"event","ph":"i","s":"p","pid":)" << pid << R"(,"tid":0,"ts":)"
+      << to_us(e.t_ps) << R"(,"args":{"a":)" << e.a << R"(,"b":)" << e.b << "}}";
+  }
+
+  arr.close();
+  os << ",\n\"displayTimeUnit\": \"ns\"\n}\n";
+}
+
+void write_timeline_perfetto(const Timeline& tl, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("timeline: cannot open '" + path + "' for writing");
+  write_timeline_perfetto(tl, os);
+  os.flush();
+  if (!os) throw std::runtime_error("timeline: write to '" + path + "' failed");
+}
+
+}  // namespace nocdvfs::obs

@@ -82,6 +82,39 @@ struct ThermalResult {
   double leakage_ref_j = 0.0;
 };
 
+/// Telemetry summary slice of a run — empty/zero when `telemetry=` is off
+/// (the default), so the off-path result is bit-identical to a build
+/// without the subsystem. The full per-window timeline lives in the
+/// exported files (see obs::Timeline); this slice is what the CSV/JSONL
+/// sinks carry.
+struct TelemetryResult {
+  struct HotTile {
+    int tile = -1;
+    std::uint64_t flits = 0;  ///< crossbar traversals, whole run
+  };
+  struct HotLink {
+    int src = -1;  ///< source router
+    int dst = -1;  ///< destination router
+    std::uint64_t flits = 0;  ///< flits forwarded over the directed link
+  };
+
+  bool enabled = false;
+  std::string mode = "off";
+  std::uint64_t windows = 0;  ///< sampled control windows (incl. the final one)
+
+  // Whole-run stall breakdown summed over all routers (VC-cycles).
+  std::uint64_t stall_route = 0;
+  std::uint64_t stall_vc_alloc = 0;
+  std::uint64_t stall_switch = 0;
+  std::uint64_t stall_credit = 0;
+  std::uint64_t stall_drop = 0;
+  std::uint64_t busy_vc_cycles = 0;
+  std::uint64_t flits_forwarded = 0;  ///< crossbar traversals, all routers
+
+  std::vector<HotTile> top_tiles;  ///< by flits forwarded, descending
+  std::vector<HotLink> top_links;  ///< by link flits, descending
+};
+
 struct RunResult {
   // --- offered load ---
   double offered_lambda = 0.0;           ///< nominal, flits/node-cycle/node
@@ -135,6 +168,9 @@ struct RunResult {
 
   // --- thermal (thermal= runs only; see ThermalResult) ---
   ThermalResult thermal;
+
+  // --- telemetry (telemetry= runs only; see TelemetryResult) ---
+  TelemetryResult telemetry;
 
   // --- derived efficiency metrics ---
   /// Total NoC energy per delivered payload bit over the measurement

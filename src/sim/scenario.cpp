@@ -304,6 +304,15 @@ std::string topo_config_problem(const Scenario& s) {
   return "";
 }
 
+std::string telemetry_config_problem(const Scenario& s) {
+  try {
+    obs::telemetry_mode_from_string(s.telemetry);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
 std::string thermal_config_problem(const Scenario& s) {
   if (!s.thermal) return "";  // keys are inert with thermal=off
   std::ostringstream os;
@@ -365,6 +374,11 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
   c.declare_bool("trace_loop", d.trace_loop, "loop the trace when it ends");
   c.declare("record", d.record_path,
             "capture this run's injected packets to a .noctrace file");
+
+  c.declare("telemetry", d.telemetry,
+            "observability: off|windows|full (full adds per-link columns)");
+  c.declare("telemetry_out", d.telemetry_out,
+            "timeline output basename (writes <base>.json + <base>.nocobs)");
 
   c.declare_bool("thermal", d.thermal,
                  "enable the RC thermal model, T-dependent leakage and throttling");
@@ -454,6 +468,9 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.trace_loop = c.get_bool("trace_loop");
   s.record_path = c.get_string("record");
 
+  s.telemetry = c.get_string("telemetry");
+  s.telemetry_out = c.get_string("telemetry_out");
+
   s.thermal = c.get_bool("thermal");
   s.thermal_step_ns = c.get_double("thermal_step_ns");
   s.temp_ambient_c = c.get_double("temp_ambient_c");
@@ -511,6 +528,10 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   }
   const std::string topo_problem = topo_config_problem(s);
   if (!topo_problem.empty()) throw std::invalid_argument("Scenario: " + topo_problem);
+  const std::string telemetry_problem = telemetry_config_problem(s);
+  if (!telemetry_problem.empty()) {
+    throw std::invalid_argument("Scenario: " + telemetry_problem);
+  }
 
   SimulatorConfig sim_cfg;
   sim_cfg.network = s.network;
@@ -518,6 +539,9 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   sim_cfg.control_period_node_cycles = s.control_period;
   sim_cfg.flit_bits = s.flit_bits;
   sim_cfg.vf_trace_max = static_cast<std::size_t>(s.vf_trace_max);
+  sim_cfg.telemetry.mode = obs::telemetry_mode_from_string(s.telemetry);
+  // telemetry_out= is inert with telemetry=off (the thermal-key pattern).
+  if (sim_cfg.telemetry.enabled()) sim_cfg.telemetry.out_base = s.telemetry_out;
   if (s.thermal) {
     sim_cfg.thermal.enabled = true;
     sim_cfg.thermal.params = thermal_params_from(s);

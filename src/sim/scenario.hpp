@@ -99,6 +99,18 @@ struct Scenario {
   /// every island runs `policy`. Must have exactly one entry per island.
   std::string island_policies;
 
+  // --- telemetry / observability (src/obs/) ---
+  /// `off` (default; bit-identical to a build without src/obs/), `windows`
+  /// (per-window tile/node/island metrics + event timeline), or `full`
+  /// (adds per-link columns).
+  std::string telemetry = "off";
+  /// Output basename for the exported timeline: the run writes
+  /// `<telemetry_out>.json` (Perfetto/Chrome trace-event) and
+  /// `<telemetry_out>.nocobs` (versioned binary, read by nocdvfs_report).
+  /// Empty keeps the timeline in memory (RunResult::telemetry only).
+  /// Inert when telemetry=off.
+  std::string telemetry_out;
+
   // --- thermal model & throttling (src/thermal/, dvfs/thermal_guard.hpp) ---
   /// Enable the RC thermal network, temperature-dependent leakage and the
   /// hysteretic thermal throttle. Off (the default) reproduces the
@@ -176,6 +188,14 @@ std::string topo_config_problem(const Scenario& scenario);
 /// the keys are inert and never rejected. `make_simulator` throws it;
 /// `SweepRunner` prefixes it with the offending point/axis.
 std::string thermal_config_problem(const Scenario& scenario);
+
+/// Validate the telemetry scenario keys (`telemetry=` mode name, and a
+/// `telemetry_out=` that needs a non-off mode to have any effect is
+/// allowed but the inverse — a bad mode string — is not). Returns an empty
+/// string when runnable, else a human-readable description of the first
+/// problem. `make_simulator` throws it; `SweepRunner` prefixes it with the
+/// offending point/axis.
+std::string telemetry_config_problem(const Scenario& scenario);
 
 /// Nominal mean offered load (flits/node-cycle/node). For app workloads
 /// this derives from the task-graph rate matrix at the scenario's speed

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "obs/timeline.hpp"
 
 namespace nocdvfs::sim {
 
@@ -192,6 +193,67 @@ RunResult Simulator::run(const RunPhases& phases) {
     tile_acc->start(clock_.now(), tile_activity, tile_cycles);
   }
 
+  // --- telemetry state (only when enabled; the off path is untouched) ---
+  const bool telem_on = cfg_.telemetry.enabled();
+  const bool telem_full = cfg_.telemetry.mode == obs::TelemetryMode::Full;
+  std::unique_ptr<obs::TelemetryRegistry> telem_reg;
+  std::unique_ptr<obs::TelemetrySampler> telem_sampler;
+  obs::Timeline timeline;
+  /// Islands whose first-settle instant has already been recorded.
+  std::vector<std::uint8_t> telem_settled(static_cast<std::size_t>(n_islands), 0);
+  std::size_t fault_epochs_seen = 0;
+  if (telem_on) {
+    net_.set_stall_tracking(true);
+    telem_reg = std::make_unique<obs::TelemetryRegistry>();
+    net_.register_telemetry(*telem_reg, telem_full);
+    telem_sampler = std::make_unique<obs::TelemetrySampler>(*telem_reg);
+    timeline.width = cfg_.network.width;
+    timeline.height = cfg_.network.height;
+    timeline.num_routers = net_.num_routers();
+    timeline.num_islands = n_islands;
+    timeline.concentration = cfg_.network.concentration;
+    timeline.f_node_hz = cfg_.f_node;
+    timeline.control_period_node_cycles = period;
+    for (int i = 0; i < n_islands; ++i) {
+      timeline.island_policy.push_back(bank_.manager(i).controller().name());
+      timeline.island_nodes.push_back(win[static_cast<std::size_t>(i)].nodes);
+    }
+    if (telem_full) timeline.links = net_.link_table();
+  }
+
+  /// Append FaultEpoch/Reroute events for every fault epoch the network has
+  /// applied since the last drain (timestamped at the epoch itself, which
+  /// generally falls inside the preceding window).
+  auto telemetry_drain_faults = [&]() {
+    const auto& epochs = net_.fault_epochs();
+    for (; fault_epochs_seen < epochs.size(); ++fault_epochs_seen) {
+      const noc::Network::FaultEpochRecord& ep = epochs[fault_epochs_seen];
+      const auto t = static_cast<std::uint64_t>(ep.t_ps);
+      timeline.events.push_back({obs::EventKind::FaultEpoch, -1, t,
+                                 static_cast<double>(ep.failed_links),
+                                 static_cast<double>(ep.failed_routers)});
+      timeline.events.push_back({obs::EventKind::Reroute, -1, t,
+                                 static_cast<double>(ep.rerouted_pairs),
+                                 static_cast<double>(ep.unreachable_pairs)});
+    }
+  };
+
+  /// Window sampling at a control boundary, *after* the control updates
+  /// ran: stamp the window end, snapshot every registered metric, and
+  /// record each island's first settle instant.
+  auto telemetry_boundary = [&]() {
+    timeline.window_t_ps.push_back(static_cast<std::uint64_t>(clock_.now()));
+    telem_sampler->sample();
+    for (int i = 0; i < n_islands; ++i) {
+      if (!telem_settled[static_cast<std::size_t>(i)] && island_settled(i)) {
+        telem_settled[static_cast<std::size_t>(i)] = 1;
+        timeline.events.push_back({obs::EventKind::Settled, i,
+                                   static_cast<std::uint64_t>(clock_.now()),
+                                   bank_.manager(i).current_frequency(), 0.0});
+      }
+    }
+  };
+
   auto process_delivered = [&]() {
     if (net_.delivered().empty()) return;
     for (const auto& rec : net_.delivered()) {
@@ -239,7 +301,13 @@ RunResult Simulator::run(const RunPhases& phases) {
       for (const noc::NodeId id : net_.island_members(i)) {
         peak = std::max(peak, therm->tile_temp_c(id));
       }
+      const bool was_throttled = guard->throttled(i);
       const bool throttle = guard->observe(i, peak);
+      if (telem_on && throttle != was_throttled) {
+        timeline.events.push_back({throttle ? obs::EventKind::ThrottleEngage
+                                            : obs::EventKind::ThrottleRelease,
+                                   i, static_cast<std::uint64_t>(clock_.now()), peak, 0.0});
+      }
       island_caps[static_cast<std::size_t>(i)] =
           throttle ? (cfg_.thermal.guard.f_throttle > 0.0 ? cfg_.thermal.guard.f_throttle
                                                           : bank_.manager(i).f_min())
@@ -274,6 +342,10 @@ RunResult Simulator::run(const RunPhases& phases) {
     const common::Hertz applied =
         bank_.apply_update(i, clock_.now(), m, island_caps[static_cast<std::size_t>(i)]);
     if (std::abs(applied - before) > 1e3) {
+      if (telem_on) {
+        timeline.events.push_back({obs::EventKind::DvfsActuation, i,
+                                   static_cast<std::uint64_t>(clock_.now()), applied, before});
+      }
       clock_.set_noc_frequency(i, applied);
       if (measuring) {
         if (!thermal_on) {
@@ -290,6 +362,18 @@ RunResult Simulator::run(const RunPhases& phases) {
     auto& freqs = recent_freqs[static_cast<std::size_t>(i)];
     freqs.push_back(applied);
     while (static_cast<int>(freqs.size()) > phases.settle_windows) freqs.pop_front();
+
+    if (telem_on) {
+      obs::IslandWindowRow row;
+      row.f_hz = bank_.manager(i).current_frequency();
+      row.vdd = bank_.manager(i).current_voltage();
+      row.avg_delay_ns = m.avg_delay_ns;
+      row.lambda_offered = m.lambda_node_offered;
+      row.occupancy = m.avg_buffer_occupancy;
+      row.ctrl_error = bank_.manager(i).controller().last_error();
+      row.throttled = static_cast<std::uint8_t>((thermal_on && guard->throttled(i)) ? 1 : 0);
+      timeline.island_rows.push_back(row);
+    }
 
     w.start_gen = gen;
     w.start_inj = inj;
@@ -350,6 +434,10 @@ RunResult Simulator::run(const RunPhases& phases) {
     }
     result.warmup_node_cycles_used = clock_.node_cycles();
     result.controller_settled = settled() || !phases.adaptive_warmup;
+    if (telem_on) {
+      timeline.events.push_back({obs::EventKind::MeasureStart, -1,
+                                 static_cast<std::uint64_t>(clock_.now()), 0.0, 0.0});
+    }
     if (thermal_on) {
       // Warmup temperatures carry over (the die does not cool between
       // phases); only the statistics and energy counters reset.
@@ -564,6 +652,85 @@ RunResult Simulator::run(const RunPhases& phases) {
         isl.throttle_events = guard->engage_count(i);
       }
     }
+
+    if (telem_on) {
+      telemetry_drain_faults();
+      // Close the run with one final window (no control update runs at
+      // this boundary) so the timeline's column sums equal the live
+      // whole-run counters exactly.
+      timeline.window_t_ps.push_back(static_cast<std::uint64_t>(clock_.now()));
+      telem_sampler->sample();
+      for (int i = 0; i < n_islands; ++i) {
+        const IslandWindow& w = win[static_cast<std::size_t>(i)];
+        const std::uint64_t gen = net_.island_flits_generated(i);
+        const std::uint64_t wcyc = clock_.noc_cycles(i) - w.start_noc_cycles;
+        obs::IslandWindowRow row;
+        row.f_hz = bank_.manager(i).current_frequency();
+        row.vdd = bank_.manager(i).current_voltage();
+        row.avg_delay_ns =
+            w.packets > 0 ? w.delay_sum_ns / static_cast<double>(w.packets) : 0.0;
+        row.lambda_offered = static_cast<double>(gen - w.start_gen) /
+                             (static_cast<double>(w.nodes) * static_cast<double>(period));
+        row.occupancy = wcyc > 0 ? static_cast<double>(w.occupancy_sum) /
+                                       (static_cast<double>(wcyc) * w.buffer_capacity)
+                                 : 0.0;
+        row.ctrl_error = bank_.manager(i).controller().last_error();
+        row.throttled = static_cast<std::uint8_t>((thermal_on && guard->throttled(i)) ? 1 : 0);
+        timeline.island_rows.push_back(row);
+      }
+      timeline.events.push_back({obs::EventKind::MeasureEnd, -1,
+                                 static_cast<std::uint64_t>(clock_.now()), 0.0, 0.0});
+      telem_sampler->finish(timeline);
+
+      // --- RunResult summary slice ---
+      TelemetryResult& tr = result.telemetry;
+      tr.enabled = true;
+      tr.mode = obs::to_string(cfg_.telemetry.mode);
+      tr.windows = static_cast<std::uint64_t>(timeline.windows());
+      const int nr = net_.num_routers();
+      std::vector<TelemetryResult::HotTile> tiles;
+      tiles.reserve(static_cast<std::size_t>(nr));
+      for (int r = 0; r < nr; ++r) {
+        const noc::Router& rt = net_.router_at(r);
+        const noc::RouterStallCounters& st = rt.stalls();
+        tr.stall_route += st.route;
+        tr.stall_vc_alloc += st.vc_alloc;
+        tr.stall_switch += st.sw;
+        tr.stall_credit += st.credit;
+        tr.stall_drop += st.drop;
+        tr.busy_vc_cycles += st.busy_vc_cycles;
+        const std::uint64_t fw = rt.activity().crossbar_traversals;
+        tr.flits_forwarded += fw;
+        tiles.push_back({r, fw});
+      }
+      const std::size_t top_k =
+          static_cast<std::size_t>(std::max(0, cfg_.telemetry.top_k));
+      std::sort(tiles.begin(), tiles.end(),
+                [](const TelemetryResult::HotTile& a, const TelemetryResult::HotTile& b) {
+                  return a.flits != b.flits ? a.flits > b.flits : a.tile < b.tile;
+                });
+      if (tiles.size() > top_k) tiles.resize(top_k);
+      tr.top_tiles = std::move(tiles);
+
+      std::vector<TelemetryResult::HotLink> links;
+      links.reserve(net_.link_table().size());
+      for (const obs::LinkInfo& li : net_.link_table()) {
+        links.push_back({li.src_router, li.dst_router,
+                         net_.router_at(li.src_router).port_flits_forwarded(li.src_port)});
+      }
+      std::sort(links.begin(), links.end(),
+                [](const TelemetryResult::HotLink& a, const TelemetryResult::HotLink& b) {
+                  if (a.flits != b.flits) return a.flits > b.flits;
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                });
+      if (links.size() > top_k) links.resize(top_k);
+      tr.top_links = std::move(links);
+
+      if (!cfg_.telemetry.out_base.empty()) {
+        obs::write_timeline_binary(timeline, cfg_.telemetry.out_base + ".nocobs");
+        obs::write_timeline_perfetto(timeline, cfg_.telemetry.out_base + ".json");
+      }
+    }
   };
 
   std::uint64_t measure_end_node = 0;
@@ -572,12 +739,16 @@ RunResult Simulator::run(const RunPhases& phases) {
     if (edge.node) {
       traffic_->node_tick(clock_.now(), clock_.noc_cycles(0), net_);
       if (clock_.node_cycles() % period == 0) {
+        // Drain fault epochs first: their timestamps fall inside the
+        // elapsed window, before anything stamped at this boundary.
+        if (telem_on) telemetry_drain_faults();
         if (thermal_on) thermal_boundary();
         if (measuring && clock_.node_cycles() >= measure_end_node) {
           finalize();
           break;
         }
         do_control_updates();
+        if (telem_on) telemetry_boundary();
         if (!measuring) {
           const std::uint64_t cycles = clock_.node_cycles();
           const bool warm = cycles >= warmup_target;

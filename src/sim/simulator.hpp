@@ -31,6 +31,7 @@
 #include "dvfs/dvfs_manager.hpp"
 #include "dvfs/thermal_guard.hpp"
 #include "noc/network.hpp"
+#include "obs/telemetry.hpp"
 #include "power/energy_model.hpp"
 #include "power/power_model.hpp"
 #include "power/vf_curve.hpp"
@@ -63,6 +64,9 @@ struct SimulatorConfig {
   /// Bound on each island's (t, F, V) actuation trace; 0 = unbounded.
   std::size_t vf_trace_max = 0;
   ThermalConfig thermal{};
+  /// Observability wiring: off by default, in which case the run (and its
+  /// numerical results) are bit-identical to a build without src/obs/.
+  obs::TelemetryConfig telemetry{};
 };
 
 struct RunPhases {

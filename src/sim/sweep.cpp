@@ -1,6 +1,8 @@
 #include "sim/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <mutex>
@@ -9,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "vfi/residency.hpp"
 
@@ -176,10 +179,19 @@ void validate_points(const std::vector<SweepPoint>& points,
     }
   }
   std::set<std::string> record_paths;
+  std::set<std::string> telemetry_paths;
   for (const SweepPoint& p : points) {
     std::string problem;
     std::string record;
     if (!p.scenario.record_path.empty()) record = normalized_path(p.scenario.record_path);
+    // telemetry_out= is inert with telemetry=off, so only an exporting
+    // point can collide (the record_path rule, same rationale).
+    std::string telemetry_out;
+    if (!p.scenario.telemetry_out.empty() &&
+        telemetry_config_problem(p.scenario).empty() &&
+        obs::telemetry_mode_from_string(p.scenario.telemetry) != obs::TelemetryMode::Off) {
+      telemetry_out = normalized_path(p.scenario.telemetry_out);
+    }
     if (std::string island_problem = island_config_problem(p.scenario);
         !island_problem.empty()) {
       problem = std::move(island_problem);
@@ -189,6 +201,15 @@ void validate_points(const std::vector<SweepPoint>& points,
     } else if (std::string topo_problem = topo_config_problem(p.scenario);
                !topo_problem.empty()) {
       problem = std::move(topo_problem);
+    } else if (std::string telemetry_problem = telemetry_config_problem(p.scenario);
+               !telemetry_problem.empty()) {
+      problem = std::move(telemetry_problem);
+    } else if (!telemetry_out.empty() &&
+               !telemetry_paths.insert(telemetry_out).second) {
+      problem =
+          "two sweep points export telemetry to the same basename (parallel workers "
+          "would clobber the .json/.nocobs pair); vary telemetry_out per point or "
+          "export a single run";
     } else if (p.scenario.workload == Scenario::Workload::Custom &&
                !p.scenario.traffic_factory) {
       problem =
@@ -228,8 +249,10 @@ std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
 
   const int threads = resolved_threads(points.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  const std::string sweep_name = group.empty() ? "sweep" : "sweep '" + group + "'";
 
   auto worker = [&]() {
     for (;;) {
@@ -240,7 +263,15 @@ std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
         if (first_error) return;
       }
       try {
+        const auto t0 = std::chrono::steady_clock::now();
         results[i] = sim::run(points[i].scenario);
+        const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        const std::size_t done = completed.fetch_add(1) + 1;
+        common::log_info(sweep_name, ": ", done, "/", points.size(), " done (point #", i,
+                         !points[i].label(axes).empty() ? " " + points[i].label(axes) : "",
+                         ", ", wall_ms, " ms)");
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -320,7 +351,20 @@ std::string json_escape(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
-      default: out += ch;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // Remaining C0 control bytes must be \u-escaped; bytes >= 0x80
+        // (UTF-8 continuation/lead bytes) pass through verbatim — JSON
+        // strings are UTF-8.
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
     }
   }
   return out;
@@ -346,7 +390,9 @@ void CsvResultSink::begin_sweep(const std::string& group,
            "islands,num_islands,freq_residency,island_power_mw,"
            "thermal,peak_temp_c,mean_temp_c,throttle_residency,leakage_j,leakage_ref_j,"
            "topology,routing,faults,max_hops,dropped_packets,unreachable_pairs,"
-           "rerouted_pairs\n";
+           "rerouted_pairs,"
+           "telemetry,stall_route,stall_vc_alloc,stall_switch,stall_credit,"
+           "stall_drop,hot_tile,hot_tile_flits,hot_link,hot_link_flits\n";
     header_written_ = true;
   }
 }
@@ -380,7 +426,19 @@ void CsvResultSink::on_result(const SweepRecord& record) {
       << noc::to_string(s.network.routing) << ','
       << csv_escape(s.network.faults.empty() ? "off" : s.network.faults) << ','
       << r.max_hops << ',' << r.dropped_packets << ',' << r.unreachable_pairs << ','
-      << r.rerouted_pairs << '\n';
+      << r.rerouted_pairs;
+  const TelemetryResult& tel = r.telemetry;
+  row << ',' << tel.mode << ',' << tel.stall_route << ',' << tel.stall_vc_alloc << ','
+      << tel.stall_switch << ',' << tel.stall_credit << ',' << tel.stall_drop << ','
+      << (tel.top_tiles.empty() ? -1 : tel.top_tiles.front().tile) << ','
+      << (tel.top_tiles.empty() ? 0 : tel.top_tiles.front().flits) << ',';
+  if (tel.top_links.empty()) {
+    row << ",0";
+  } else {
+    row << tel.top_links.front().src << "->" << tel.top_links.front().dst << ','
+        << tel.top_links.front().flits;
+  }
+  row << '\n';
   os_ << row.str();
 }
 
@@ -441,6 +499,29 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << ",\"throttle_events\":" << r.thermal.throttle_events
      << ",\"leakage_j\":" << r.thermal.leakage_j
      << ",\"leakage_ref_j\":" << r.thermal.leakage_ref_j << "}"
+     << ",\"telemetry\":{\"enabled\":" << (r.telemetry.enabled ? "true" : "false")
+     << ",\"mode\":\"" << json_escape(r.telemetry.mode)
+     << "\",\"windows\":" << r.telemetry.windows
+     << ",\"stall_route\":" << r.telemetry.stall_route
+     << ",\"stall_vc_alloc\":" << r.telemetry.stall_vc_alloc
+     << ",\"stall_switch\":" << r.telemetry.stall_switch
+     << ",\"stall_credit\":" << r.telemetry.stall_credit
+     << ",\"stall_drop\":" << r.telemetry.stall_drop
+     << ",\"busy_vc_cycles\":" << r.telemetry.busy_vc_cycles
+     << ",\"flits_forwarded\":" << r.telemetry.flits_forwarded << ",\"top_tiles\":[";
+  for (std::size_t i = 0; i < r.telemetry.top_tiles.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"tile\":" << r.telemetry.top_tiles[i].tile
+       << ",\"flits\":" << r.telemetry.top_tiles[i].flits << "}";
+  }
+  os << "],\"top_links\":[";
+  for (std::size_t i = 0; i < r.telemetry.top_links.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"src\":" << r.telemetry.top_links[i].src
+       << ",\"dst\":" << r.telemetry.top_links[i].dst
+       << ",\"flits\":" << r.telemetry.top_links[i].flits << "}";
+  }
+  os << "]}"
      << ",\"islands\":[";
   for (std::size_t i = 0; i < r.islands.size(); ++i) {
     const IslandResult& isl = r.islands[i];

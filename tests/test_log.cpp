@@ -1,6 +1,14 @@
-// Tests for the logging facility: level gating and message formatting.
+// Tests for the logging facility: level gating, message formatting,
+// pluggable sinks, and thread safety of concurrent emission.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/log.hpp"
 
@@ -15,6 +23,35 @@ class LogLevelGuard {
  private:
   LogLevel saved_;
 };
+
+/// Captures log lines for the duration of a test, restoring whatever sink
+/// (usually none) was installed before.
+class SinkGuard {
+ public:
+  SinkGuard() {
+    previous_ = set_log_sink([this](LogLevel level, std::string_view line) {
+      lines_.emplace_back(level, std::string(line));
+    });
+  }
+  ~SinkGuard() { set_log_sink(std::move(previous_)); }
+
+  const std::vector<std::pair<LogLevel, std::string>>& lines() const { return lines_; }
+
+ private:
+  LogSink previous_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+bool matches_prefix(const std::string& line, const std::string& tag) {
+  // "[TAG HH:MM:SS.mmm] " — tag padded to 5 chars by level_name.
+  const std::string head = "[" + tag;
+  if (line.rfind(head, 0) != 0) return false;
+  // 1 '[' + 5 tag + 1 ' ' + 12 timestamp + 1 ']' + 1 ' '
+  if (line.size() < 21) return false;
+  const std::string ts = line.substr(7, 12);
+  return ts[2] == ':' && ts[5] == ':' && ts[8] == '.' && line[19] == ']' &&
+         line[20] == ' ';
+}
 
 TEST(Log, LevelRoundTrip) {
   LogLevelGuard guard;
@@ -48,6 +85,85 @@ TEST(Log, EmitBelowThresholdIsNoop) {
   log_debug("hidden");
   log_warn("hidden");
   SUCCEED();
+}
+
+TEST(Log, SinkReceivesFormattedLines) {
+  LogLevelGuard level_guard;
+  set_log_level(LogLevel::Debug);
+  SinkGuard sink;
+  log_info("point ", 3, "/", 8, " done");
+  log_error("bad thing: ", 1.5);
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(sink.lines()[0].first, LogLevel::Info);
+  EXPECT_TRUE(matches_prefix(sink.lines()[0].second, "INFO ")) << sink.lines()[0].second;
+  EXPECT_NE(sink.lines()[0].second.find("point 3/8 done"), std::string::npos);
+  EXPECT_EQ(sink.lines()[0].second.back(), '\n');
+  EXPECT_EQ(sink.lines()[1].first, LogLevel::Error);
+  EXPECT_TRUE(matches_prefix(sink.lines()[1].second, "ERROR")) << sink.lines()[1].second;
+  EXPECT_NE(sink.lines()[1].second.find("bad thing: 1.5"), std::string::npos);
+}
+
+TEST(Log, SetSinkReturnsPreviousAndRestores) {
+  std::size_t outer = 0, inner = 0;
+  LogLevelGuard level_guard;
+  set_log_level(LogLevel::Info);
+  LogSink before = set_log_sink([&](LogLevel, std::string_view) { ++outer; });
+  log_info("to outer");
+  {
+    LogSink prev = set_log_sink([&](LogLevel, std::string_view) { ++inner; });
+    EXPECT_TRUE(prev);  // the outer lambda
+    log_info("to inner");
+    set_log_sink(std::move(prev));
+  }
+  log_info("to outer again");
+  set_log_sink(std::move(before));
+  EXPECT_EQ(outer, 2u);
+  EXPECT_EQ(inner, 1u);
+}
+
+/// Concurrent emitters: each fully formatted line reaches the sink intact
+/// (the mutex serializes whole lines, never fragments).
+TEST(Log, ConcurrentEmissionNeverInterleaves) {
+  LogLevelGuard level_guard;
+  set_log_level(LogLevel::Info);
+  std::mutex mu;
+  std::vector<std::string> lines;
+  LogSink prev = set_log_sink([&](LogLevel, std::string_view line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  });
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_info("thread=", t, " msg=", i, " payload=xxxxxxxxxxxxxxxx");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  set_log_sink(std::move(prev));
+
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<int> next_msg(kThreads, 0);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(matches_prefix(line, "INFO ")) << line;
+    // Exactly one message per line, ending in the payload + newline.
+    const auto tpos = line.find("thread=");
+    ASSERT_NE(tpos, std::string::npos) << line;
+    EXPECT_EQ(line.find("thread=", tpos + 1), std::string::npos) << line;
+    EXPECT_NE(line.find(" payload=xxxxxxxxxxxxxxxx\n"), std::string::npos) << line;
+    int thread_id = -1, msg = -1;
+    ASSERT_EQ(std::sscanf(line.c_str() + tpos, "thread=%d msg=%d", &thread_id, &msg), 2)
+        << line;
+    ASSERT_GE(thread_id, 0);
+    ASSERT_LT(thread_id, kThreads);
+    // Per-thread messages arrive in program order.
+    EXPECT_EQ(msg, next_msg[static_cast<std::size_t>(thread_id)]) << line;
+    next_msg[static_cast<std::size_t>(thread_id)] = msg + 1;
+  }
 }
 
 }  // namespace

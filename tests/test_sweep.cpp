@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/sweep.hpp"
@@ -161,6 +162,53 @@ TEST(SweepSinks, JsonlCarriesTrajectories) {
   EXPECT_NE(out.find("\"vf_trace\":["), std::string::npos);
   // One JSON object per line.
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+/// Feeds the sink a hand-built record whose escaped string fields carry
+/// every character class the escaper must handle: the stream must stay one
+/// valid JSON object per line.
+TEST(SweepSinks, JsonlEscapesHostileStrings) {
+  std::ostringstream jsonl;
+  JsonlResultSink sink(jsonl, /*include_traces=*/false);
+  sink.begin_sweep("group \"quoted\"\\back", {});
+
+  SweepRecord rec;
+  rec.point.index = 0;
+  rec.point.coordinates = {"label\twith\ttabs", "newline\nlabel"};
+  rec.point.scenario.pattern = "uni\xc3\xa9orm";          // "uniéorm": UTF-8 passthrough
+  rec.point.scenario.app = "app\\path\"x\"";              // backslashes + quotes
+  rec.point.scenario.islands = "quad\x01rants";           // C0 control char
+  rec.point.scenario.network.faults = "links:1";
+  sink.on_result(rec);
+
+  const std::string out = jsonl.str();
+  ASSERT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+
+  // Escaped forms appear; raw unescaped forms don't.
+  EXPECT_NE(out.find("\"group \\\"quoted\\\"\\\\back\""), std::string::npos) << out;
+  EXPECT_NE(out.find("label\\twith\\ttabs"), std::string::npos) << out;
+  EXPECT_NE(out.find("newline\\nlabel"), std::string::npos) << out;
+  EXPECT_NE(out.find("app\\\\path\\\"x\\\""), std::string::npos) << out;
+  EXPECT_NE(out.find("quad\\u0001rants"), std::string::npos) << out;
+  EXPECT_NE(out.find("uni\xc3\xa9orm"), std::string::npos) << out;  // bytes intact
+  EXPECT_EQ(out.find('\t'), std::string::npos);
+  EXPECT_EQ(out.find('\x01'), std::string::npos);
+
+  // Structural sanity: no control characters inside, and the line's quotes
+  // are balanced once escapes are discounted.
+  std::size_t unescaped_quotes = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char ch = out[i];
+    if (static_cast<unsigned char>(ch) < 0x20 && ch != '\n') {
+      ADD_FAILURE() << "raw control char at offset " << i;
+    }
+    if (ch == '\\') {
+      ++i;  // skip escaped char
+    } else if (ch == '"') {
+      ++unescaped_quotes;
+    }
+  }
+  EXPECT_EQ(unescaped_quotes % 2, 0u);
 }
 
 TEST(SweepPointLabel, JoinsAxisNamesAndCoordinates) {
