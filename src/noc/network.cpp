@@ -95,6 +95,7 @@ Network::Network(const NetworkConfig& cfg) : cfg_(cfg), topo_(cfg.width, cfg.hei
   for (NodeId id = 0; id < n; ++id) {
     nis_.push_back(std::make_unique<NetworkInterface>(id, ncfg, &delivered_));
     nis_.back()->set_wake_id(topol_->router_of(id));
+    nis_.back()->set_packet_id_source(&next_packet_id_);
   }
 
   // Inter-router links: one flit channel and one reverse credit channel per
@@ -224,6 +225,14 @@ void Network::set_injection_observer(InjectionObserver observer) {
   for (auto& ni : nis_) ni->set_injection_observer(ptr);
 }
 
+void Network::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_recorder_ = recorder;
+  if (recorder != nullptr) recorder->set_router_islands(
+      std::vector<std::int32_t>(router_island_.begin(), router_island_.end()));
+  for (auto& r : routers_) r->set_flight_recorder(recorder);
+  for (auto& ni : nis_) ni->set_flight_recorder(recorder);
+}
+
 void Network::step(common::Picoseconds now) {
   if (num_islands() != 1) {
     throw std::logic_error("Network::step: multi-island network must be stepped per island");
@@ -262,6 +271,7 @@ void Network::tick_island(int island) {
 void Network::run_island_phases(int island, common::Picoseconds now) {
   Island& isl = islands_.at(static_cast<std::size_t>(island));
   const std::uint64_t cycle = island_cycles_[static_cast<std::size_t>(island)];
+  if (flight_recorder_) flight_recorder_->set_now(static_cast<std::uint64_t>(now));
   // Fault epochs are keyed to island 0's clock; fire them before the
   // phases of the cycle they are due.
   if (fault_pending_ && island == 0 && faults_->due(cycle)) apply_due_faults(cycle, now);

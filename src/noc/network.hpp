@@ -227,6 +227,12 @@ class Network : public WakeSink {
   /// every packet entering any source queue — the trace-recording hook.
   void set_injection_observer(InjectionObserver observer);
 
+  /// Install (or clear, with nullptr) the packet flight recorder on every
+  /// router and NI, and hand it the router→island map so it can synthesize
+  /// clock-domain-crossing events. Same one-branch-when-off discipline as
+  /// the injection observer.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   // --- aggregate measurement (whole network) ---
   power::ActivityCounters total_activity() const;
   power::NetworkInventory inventory() const;
@@ -322,6 +328,8 @@ class Network : public WakeSink {
   std::deque<CreditCdcFifo> cdc_credit_channels_;
   std::vector<PacketRecord> delivered_;
   InjectionObserver injection_observer_;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
+  std::uint64_t next_packet_id_ = 0;  ///< shared NI counter: globally unique ids
   std::vector<int> island_of_;  ///< resolved node→island (size num_nodes)
   std::vector<int> router_island_;  ///< tile→island (size num_routers)
   std::vector<std::vector<NodeId>> tile_nis_;  ///< tile → ascending node ids

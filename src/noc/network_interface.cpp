@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
+
 namespace nocdvfs::noc {
 
 NetworkInterface::NetworkInterface(NodeId node, const NiConfig& cfg,
@@ -33,22 +35,29 @@ void NetworkInterface::enqueue_packet(NodeId dst, int size_flits,
                                       std::uint64_t create_noc_cycle,
                                       std::uint8_t traffic_class) {
   NOCDVFS_ASSERT(size_flits >= 1, "packet must have at least one flit");
+  // Globally unique ids when the network installed a shared counter;
+  // legacy node-unique ids (high bits carry the source node) otherwise.
+  const PacketId pid =
+      packet_id_source_
+          ? (*packet_id_source_)++
+          : (static_cast<PacketId>(static_cast<std::uint32_t>(node_)) << 40) |
+                next_packet_seq_;
+  ++next_packet_seq_;
   if (reachable_ != nullptr && !(*reachable_)(node_, dst)) {
     // No surviving route at enqueue time: the packet is offered load (it
     // counts as generated) but goes straight to the drop counters instead
     // of the source queue, so backlog cannot grow without bound behind a
-    // destination that will never drain.
+    // destination that will never drain. It still consumed an id, so the
+    // observer's record ordinal stays equal to the id.
     ++packets_generated_;
     flits_generated_ += static_cast<std::uint64_t>(size_flits);
     ++dropped_packets_;
     dropped_flits_ += static_cast<std::uint64_t>(size_flits);
-    ++next_packet_seq_;
-    if (injection_observer_) (*injection_observer_)(node_, dst, size_flits, traffic_class);
+    if (injection_observer_) (*injection_observer_)(pid, node_, dst, size_flits, traffic_class);
     return;
   }
   PendingPacket p;
-  // Node-unique packet ids: high bits carry the source node.
-  p.id = (static_cast<PacketId>(static_cast<std::uint32_t>(node_)) << 40) | next_packet_seq_++;
+  p.id = pid;
   p.dst = dst;
   p.size = static_cast<std::uint16_t>(size_flits);
   p.create_time_ps = create_time_ps;
@@ -61,7 +70,7 @@ void NetworkInterface::enqueue_packet(NodeId dst, int size_flits,
     peak_backlog_flits_ = backlog;
   }
   if (wake_ != nullptr) wake_->wake(wake_id_);
-  if (injection_observer_) (*injection_observer_)(node_, dst, size_flits, traffic_class);
+  if (injection_observer_) (*injection_observer_)(pid, node_, dst, size_flits, traffic_class);
 }
 
 void NetworkInterface::receive_phase(common::Picoseconds now, std::uint64_t noc_cycle) {
@@ -103,6 +112,7 @@ void NetworkInterface::receive_phase(common::Picoseconds now, std::uint64_t noc_
       rec.create_noc_cycle = flit->create_noc_cycle;
       rec.eject_noc_cycle = noc_cycle;
       delivered_sink_->push_back(rec);
+      if (flight_recorder_) flight_recorder_->on_eject(flit->packet_id);
     }
   }
 }
@@ -144,6 +154,11 @@ void NetworkInterface::inject_phase() {
   f.traffic_class = current_.traffic_class;
 
   inject_out_->push(f);
+  if (flight_recorder_ && f.head) {
+    flight_recorder_->on_inject(f.packet_id, node_, f.dst, current_.size,
+                                f.traffic_class,
+                                static_cast<std::uint64_t>(f.create_time_ps));
+  }
   --credit;
   ++flits_injected_;
   ++activity_.local_flit_hops;  // injection link toggle

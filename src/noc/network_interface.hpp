@@ -24,6 +24,10 @@
 #include "noc/types.hpp"
 #include "power/activity.hpp"
 
+namespace nocdvfs::obs {
+class FlightRecorder;
+}
+
 namespace nocdvfs::noc {
 
 struct NiConfig {
@@ -34,8 +38,11 @@ struct NiConfig {
 /// Observes every packet entering a source queue — the trace-recording
 /// hook. Installed network-wide via `Network::set_injection_observer`; the
 /// NI holds only a pointer so the uninstrumented hot path pays one branch.
-using InjectionObserver =
-    std::function<void(NodeId src, NodeId dst, int size_flits, std::uint8_t traffic_class)>;
+/// `id` is the packet's globally unique id (see set_packet_id_source);
+/// refused packets consume an id too, so the observer's record ordinal
+/// always equals the id.
+using InjectionObserver = std::function<void(PacketId id, NodeId src, NodeId dst,
+                                             int size_flits, std::uint8_t traffic_class)>;
 
 /// Answers "can an NI-to-NI packet currently be delivered?" under the
 /// active fault set. Installed network-wide only when a FaultModel is
@@ -88,6 +95,21 @@ class NetworkInterface {
   /// Network when a fault model is active.
   void set_reachability(const ReachabilityFn* fn) noexcept { reachable_ = fn; }
 
+  /// Globally unique packet-id counter, shared by every NI in a network
+  /// (installed by the Network; each enqueue — including a refused one —
+  /// consumes the next value, so ids are dense and monotone in injection
+  /// order). Unset (standalone NIs), ids fall back to the legacy
+  /// node-unique form: high bits carry the source node.
+  void set_packet_id_source(std::uint64_t* source) noexcept {
+    packet_id_source_ = source;
+  }
+
+  /// Non-owning; nullptr (the default) records nothing — one branch on
+  /// the uninstrumented path, like the injection observer.
+  void set_flight_recorder(obs::FlightRecorder* recorder) noexcept {
+    flight_recorder_ = recorder;
+  }
+
   /// No packet being serialized and nothing queued — the NI contributes no
   /// NoC-domain work (reassembly in progress keeps the node awake through
   /// the flits still buffered upstream, not through this predicate).
@@ -131,6 +153,8 @@ class NetworkInterface {
   std::vector<PacketRecord>* delivered_sink_;
   const InjectionObserver* injection_observer_ = nullptr;
   const ReachabilityFn* reachable_ = nullptr;
+  std::uint64_t* packet_id_source_ = nullptr;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
   WakeSink* wake_ = nullptr;
   NodeId wake_id_;  ///< tile id announced on wake (== node_ on a mesh)
 

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
+
 namespace nocdvfs::noc {
 
 namespace {
@@ -104,6 +106,9 @@ void Router::receive_phase() {
       ivc.buffer.push(*flit);
       ++activity_.buffer_writes;
       ++buffered_total_;
+      if (flight_recorder_ && flit->head) {
+        flight_recorder_->on_router_arrive(flit->packet_id, id_);
+      }
       if (ivc.state == VcStateKind::Idle && ivc.buffer.size() == 1) {
         ++rc_pending_;
       } else if (ivc.state == VcStateKind::Active) {
@@ -262,6 +267,9 @@ void Router::traverse(int in_port, int in_vc) {
   flit.vc = static_cast<std::uint8_t>(ivc.out_vc);
   ++flit.hops;
   if (traverse_hook_) engine_->on_traverse(id_, ivc.out_port, flit);
+  if (flight_recorder_ && flit.head) {
+    flight_recorder_->on_depart(flit.packet_id, id_, ivc.out_port);
+  }
   if (ivc.out_port >= first_local_port_) {
     ++activity_.local_flit_hops;
   } else {
@@ -313,6 +321,7 @@ void Router::drain_drops() {
       ++activity_.buffer_reads;
       ++dropped_flits_;
       if (flit.head) ++dropped_packets_;
+      if (flight_recorder_ && flit.head) flight_recorder_->on_drop(flit.packet_id, id_);
       ip.credit_out->push(Credit{static_cast<std::uint8_t>(v)});
       credit_pushed_[static_cast<std::size_t>(p)] = 1;
       if (wake_ != nullptr) wake_->wake(port_peer_[static_cast<std::size_t>(p)]);
@@ -378,6 +387,9 @@ void Router::vc_allocation() {
     // A Waiting VC always still buffers its head flit, so it becomes an SA
     // candidate immediately.
     sa_candidates_[static_cast<std::size_t>(p)] |= std::uint64_t{1} << v;
+    if (flight_recorder_) {
+      flight_recorder_->on_vc_grant(ivc.buffer.front().packet_id, id_, u);
+    }
     ivc.out_vc = u;
     ovc.allocated = true;
     ovc.owner_port = p;
@@ -406,6 +418,9 @@ void Router::route_computation() {
         ivc.vc_mask = decision.vc_mask;
       } else {
         ivc.out_port = port_index(route_dor(cfg_.routing, *topo_, id_, head.dst));
+      }
+      if (flight_recorder_) {
+        flight_recorder_->on_route(head.packet_id, id_, ivc.out_port);
       }
       NOCDVFS_ASSERT(out_[static_cast<std::size_t>(ivc.out_port)].connected(),
                      "route computed towards an unwired port");

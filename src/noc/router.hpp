@@ -43,6 +43,10 @@
 #include "power/activity.hpp"
 #include "topo/routing_engine.hpp"
 
+namespace nocdvfs::obs {
+class FlightRecorder;
+}
+
 namespace nocdvfs::noc {
 
 struct RouterConfig {
@@ -131,6 +135,13 @@ class Router : public topo::RouterView {
   /// drops` identity to hold from counter zero.
   void set_stall_tracking(bool on) noexcept { stall_tracking_ = on; }
   bool stall_tracking() const noexcept { return stall_tracking_; }
+  /// Non-owning; nullptr (the default) records nothing. The recorder is
+  /// told about head-flit pipeline milestones (arrival, RC, VA, ST) and
+  /// filters to its sampled packet set — one branch per milestone when off,
+  /// the set_traverse_hook pattern.
+  void set_flight_recorder(obs::FlightRecorder* recorder) noexcept {
+    flight_recorder_ = recorder;
+  }
 
   /// Phase 1 of a network cycle: latch arriving credits and flits.
   void receive_phase();
@@ -248,6 +259,7 @@ class Router : public topo::RouterView {
   bool adaptive_escape_ = false;  ///< engine wants VA-starvation re-routes
   bool traverse_hook_ = false;    ///< report traversals to the engine
   bool stall_tracking_ = false;   ///< telemetry wants the stall taxonomy
+  obs::FlightRecorder* flight_recorder_ = nullptr;  ///< sampled packet journeys
   int first_local_port_ = 0;      ///< ports >= this are NI-local
   std::uint64_t dropped_flits_ = 0;
   std::uint64_t dropped_packets_ = 0;

@@ -1,0 +1,87 @@
+#include "obs/flight_recorder.hpp"
+
+namespace nocdvfs::obs {
+
+const char* to_string(FlightStage stage) noexcept {
+  switch (stage) {
+    case FlightStage::Inject: return "inject";
+    case FlightStage::RouterArrive: return "arrive";
+    case FlightStage::RouteComputed: return "route";
+    case FlightStage::VcGranted: return "vc_grant";
+    case FlightStage::RouterDepart: return "depart";
+    case FlightStage::CdcCross: return "cdc";
+    case FlightStage::Eject: return "eject";
+    case FlightStage::Drop: return "drop";
+  }
+  return "?";
+}
+
+FlightRecorder::Active* FlightRecorder::active(std::uint64_t id) {
+  if (!sampled(id)) return nullptr;
+  const auto it = active_.find(id);
+  return it == active_.end() ? nullptr : &it->second;
+}
+
+void FlightRecorder::append(std::size_t index, std::int32_t router,
+                            FlightStage stage, std::int32_t arg) {
+  flights_[index].events.push_back({now_ps_, router, arg, stage});
+}
+
+void FlightRecorder::on_inject(std::uint64_t id, std::int32_t src, std::int32_t dst,
+                               std::int32_t size_flits, std::uint8_t traffic_class,
+                               std::uint64_t create_t_ps) {
+  if (!sampled(id) || flights_.size() >= cfg_.max_flights) return;
+  FlightRecord rec;
+  rec.packet_id = id;
+  rec.src = src;
+  rec.dst = dst;
+  rec.size_flits = size_flits;
+  rec.traffic_class = traffic_class;
+  rec.create_t_ps = create_t_ps;
+  flights_.push_back(std::move(rec));
+  active_[id] = {flights_.size() - 1, -1};
+  append(flights_.size() - 1, -1, FlightStage::Inject, src);
+}
+
+void FlightRecorder::on_router_arrive(std::uint64_t id, std::int32_t router) {
+  Active* a = active(id);
+  if (!a) return;
+  if (static_cast<std::size_t>(router) < router_island_.size()) {
+    const std::int32_t island = router_island_[static_cast<std::size_t>(router)];
+    if (a->last_island >= 0 && island != a->last_island) {
+      append(a->index, router, FlightStage::CdcCross, island);
+    }
+    a->last_island = island;
+  }
+  append(a->index, router, FlightStage::RouterArrive, 0);
+}
+
+void FlightRecorder::on_route(std::uint64_t id, std::int32_t router,
+                              std::int32_t out_port) {
+  if (Active* a = active(id)) append(a->index, router, FlightStage::RouteComputed, out_port);
+}
+
+void FlightRecorder::on_vc_grant(std::uint64_t id, std::int32_t router, std::int32_t vc) {
+  if (Active* a = active(id)) append(a->index, router, FlightStage::VcGranted, vc);
+}
+
+void FlightRecorder::on_depart(std::uint64_t id, std::int32_t router,
+                               std::int32_t out_port) {
+  if (Active* a = active(id)) append(a->index, router, FlightStage::RouterDepart, out_port);
+}
+
+void FlightRecorder::on_eject(std::uint64_t id) {
+  Active* a = active(id);
+  if (!a) return;
+  append(a->index, -1, FlightStage::Eject, 0);
+  active_.erase(id);
+}
+
+void FlightRecorder::on_drop(std::uint64_t id, std::int32_t router) {
+  Active* a = active(id);
+  if (!a) return;
+  append(a->index, router, FlightStage::Drop, 0);
+  active_.erase(id);
+}
+
+}  // namespace nocdvfs::obs

@@ -1,0 +1,89 @@
+#include "obs/latency_hist.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace nocdvfs::obs {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < 2) return static_cast<std::size_t>(v);
+  const int k = std::bit_width(v) - 1;  // >= 1
+  const std::size_t sub = v >= (3ULL << (k - 1)) ? 1 : 0;
+  return 2 * static_cast<std::size_t>(k) + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(std::size_t i) noexcept {
+  if (i < 2) return i;
+  const std::size_t k = i / 2;
+  return (i % 2) ? (3ULL << (k - 1)) : (1ULL << k);
+}
+
+std::uint64_t LatencyHistogram::bucket_hi(std::size_t i) noexcept {
+  if (i < 2) return i;
+  const std::size_t k = i / 2;
+  if (i % 2 == 0) return (3ULL << (k - 1)) - 1;
+  if (k >= 63) return ~0ULL;  // [1.5*2^63, 2^64) saturates
+  return (1ULL << (k + 1)) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t v) noexcept {
+  ++counts_[bucket_index(v)];
+  ++count_;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= rank) return std::clamp(bucket_hi(i), min_, max_);
+  }
+  return max_;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot(std::string label) const {
+  HistogramSnapshot s;
+  s.label = std::move(label);
+  s.count = count_;
+  s.min = min();
+  s.max = max();
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    s.bucket_index.push_back(static_cast<std::uint32_t>(i));
+    s.bucket_count.push_back(counts_[i]);
+  }
+  return s;
+}
+
+std::uint64_t snapshot_quantile(const HistogramSnapshot& s, double q) noexcept {
+  if (s.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(s.count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < s.bucket_index.size(); ++i) {
+    cum += s.bucket_count[i];
+    if (cum >= rank) {
+      return std::clamp(LatencyHistogram::bucket_hi(s.bucket_index[i]), s.min, s.max);
+    }
+  }
+  return s.max;
+}
+
+}  // namespace nocdvfs::obs

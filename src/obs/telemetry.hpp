@@ -27,6 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/latency_hist.hpp"
+
 namespace nocdvfs::obs {
 
 /// `telemetry=` scenario key. `Windows` samples tile/node/island metrics
@@ -158,7 +161,12 @@ struct IslandWindowRow {
 /// metric series, per-island control rows and the event timeline. This is
 /// what the binary format serializes and `nocdvfs_report` renders.
 struct Timeline {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
+
+  /// Format version of the file this timeline was read from (writers
+  /// always emit kVersion; a v1 file reads back with the v2-only sections
+  /// empty).
+  std::uint32_t version = kVersion;
 
   int width = 0;   ///< NI grid (nodes)
   int height = 0;
@@ -176,6 +184,9 @@ struct Timeline {
   std::vector<LinkInfo> links;               ///< link-scope entity table
   std::vector<MetricSeries> series;
   std::vector<TimelineEvent> events;
+  // --- v2 sections (empty when reading a v1 file) ---
+  std::vector<FlightRecord> flights;         ///< sampled packet journeys
+  std::vector<HistogramSnapshot> histograms; ///< latency distributions
 
   int windows() const noexcept { return static_cast<int>(window_t_ps.size()); }
   const IslandWindowRow& island_row(int window, int island) const {

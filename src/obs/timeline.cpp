@@ -149,6 +149,37 @@ void write_timeline_binary(const Timeline& tl, const std::string& path) {
     put<double>(os, e.b);
   }
 
+  // --- v2 sections ---
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.flights.size()));
+  for (const FlightRecord& f : tl.flights) {
+    put<std::uint64_t>(os, f.packet_id);
+    put<std::int32_t>(os, f.src);
+    put<std::int32_t>(os, f.dst);
+    put<std::int32_t>(os, f.size_flits);
+    put<std::uint8_t>(os, f.traffic_class);
+    put<std::uint64_t>(os, f.create_t_ps);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(f.events.size()));
+    for (const FlightEvent& ev : f.events) {
+      put<std::uint64_t>(os, ev.t_ps);
+      put<std::int32_t>(os, ev.router);
+      put<std::int32_t>(os, ev.arg);
+      put<std::uint8_t>(os, static_cast<std::uint8_t>(ev.stage));
+    }
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.histograms.size()));
+  for (const HistogramSnapshot& h : tl.histograms) {
+    put_str(os, h.label);
+    put<std::uint64_t>(os, h.count);
+    put<std::uint64_t>(os, h.min);
+    put<std::uint64_t>(os, h.max);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(h.bucket_index.size()));
+    for (std::size_t b = 0; b < h.bucket_index.size(); ++b) {
+      put<std::uint32_t>(os, h.bucket_index[b]);
+      put<std::uint64_t>(os, h.bucket_count[b]);
+    }
+  }
+
   os.flush();
   if (!os) throw std::runtime_error("timeline: write to '" + path + "' failed");
 }
@@ -161,11 +192,12 @@ Timeline read_timeline_binary(const std::string& path) {
     throw std::runtime_error("timeline: '" + path + "' is not a .nocobs file (bad magic)");
   }
   const auto version = get<std::uint32_t>(is);
-  if (version != Timeline::kVersion) {
+  if (version < 1 || version > Timeline::kVersion) {
     throw std::runtime_error("timeline: unsupported version " + std::to_string(version));
   }
 
   Timeline tl;
+  tl.version = version;
   tl.width = static_cast<int>(get<std::uint32_t>(is));
   tl.height = static_cast<int>(get<std::uint32_t>(is));
   tl.num_routers = static_cast<int>(get<std::uint32_t>(is));
@@ -237,6 +269,49 @@ Timeline read_timeline_binary(const std::string& path) {
     ev.b = get<double>(is);
     tl.events.push_back(ev);
   }
+
+  if (version >= 2) {
+    const auto num_flights = get<std::uint32_t>(is);
+    tl.flights.reserve(num_flights);
+    for (std::uint32_t f = 0; f < num_flights; ++f) {
+      FlightRecord rec;
+      rec.packet_id = get<std::uint64_t>(is);
+      rec.src = get<std::int32_t>(is);
+      rec.dst = get<std::int32_t>(is);
+      rec.size_flits = get<std::int32_t>(is);
+      rec.traffic_class = get<std::uint8_t>(is);
+      rec.create_t_ps = get<std::uint64_t>(is);
+      const auto num_fe = get<std::uint32_t>(is);
+      rec.events.reserve(num_fe);
+      for (std::uint32_t e = 0; e < num_fe; ++e) {
+        FlightEvent ev;
+        ev.t_ps = get<std::uint64_t>(is);
+        ev.router = get<std::int32_t>(is);
+        ev.arg = get<std::int32_t>(is);
+        ev.stage = static_cast<FlightStage>(get<std::uint8_t>(is));
+        rec.events.push_back(ev);
+      }
+      tl.flights.push_back(std::move(rec));
+    }
+
+    const auto num_hists = get<std::uint32_t>(is);
+    tl.histograms.reserve(num_hists);
+    for (std::uint32_t h = 0; h < num_hists; ++h) {
+      HistogramSnapshot snap;
+      snap.label = get_str(is);
+      snap.count = get<std::uint64_t>(is);
+      snap.min = get<std::uint64_t>(is);
+      snap.max = get<std::uint64_t>(is);
+      const auto buckets = get<std::uint32_t>(is);
+      snap.bucket_index.reserve(buckets);
+      snap.bucket_count.reserve(buckets);
+      for (std::uint32_t b = 0; b < buckets; ++b) {
+        snap.bucket_index.push_back(get<std::uint32_t>(is));
+        snap.bucket_count.push_back(get<std::uint64_t>(is));
+      }
+      tl.histograms.push_back(std::move(snap));
+    }
+  }
   return tl;
 }
 
@@ -295,6 +370,92 @@ void write_timeline_perfetto(const Timeline& tl, std::ostream& os) {
     json_str(o, to_string(e.kind));
     o << R"(,"cat":"event","ph":"i","s":"p","pid":)" << pid << R"(,"tid":0,"ts":)"
       << to_us(e.t_ps) << R"(,"args":{"a":)" << e.a << R"(,"b":)" << e.b << "}}";
+  }
+
+  // Sampled packet flights: one process, one track per flight. Each router
+  // visit becomes an "X" hop span (ts = head arrival, dur = arrival →
+  // switch traversal — never zero, the pipeline takes >= 2 router cycles)
+  // whose args attribute the per-hop stage waits, and the journey is
+  // stitched with "s"/"t"/"f" flow events keyed on the packet id.
+  if (!tl.flights.empty()) {
+    const int fpid = tl.num_islands + 1;
+    {
+      auto& o = arr.next();
+      o << R"({"name":"process_name","ph":"M","pid":)" << fpid
+        << R"(,"tid":0,"args":{"name":"packet flights"}})";
+    }
+    int tid = 0;
+    for (const FlightRecord& f : tl.flights) {
+      ++tid;
+      std::uint64_t inject_ps = 0, eject_ps = 0;
+      bool has_inject = false, has_eject = false;
+      for (const FlightEvent& ev : f.events) {
+        if (ev.stage == FlightStage::Inject) { inject_ps = ev.t_ps; has_inject = true; }
+        if (ev.stage == FlightStage::Eject) { eject_ps = ev.t_ps; has_eject = true; }
+      }
+      // Source-queue wait before injection (skipped when zero-width).
+      if (has_inject && inject_ps > f.create_t_ps) {
+        auto& o = arr.next();
+        o << R"({"name":"src queue","cat":"flight","ph":"X","pid":)" << fpid
+          << R"(,"tid":)" << tid << R"(,"ts":)" << to_us(f.create_t_ps) << R"(,"dur":)"
+          << to_us(inject_ps - f.create_t_ps) << R"(,"args":{"packet_id":)" << f.packet_id
+          << R"(,"src":)" << f.src << R"(,"dst":)" << f.dst << "}}";
+      }
+      // Hop spans: walk the per-router milestones in order.
+      std::uint64_t arrive_ps = 0, route_ps = 0, grant_ps = 0;
+      bool in_hop = false;
+      for (const FlightEvent& ev : f.events) {
+        switch (ev.stage) {
+          case FlightStage::RouterArrive:
+            arrive_ps = ev.t_ps;
+            route_ps = grant_ps = 0;
+            in_hop = true;
+            break;
+          case FlightStage::RouteComputed: route_ps = ev.t_ps; break;
+          case FlightStage::VcGranted: grant_ps = ev.t_ps; break;
+          case FlightStage::RouterDepart:
+            if (in_hop && ev.t_ps > arrive_ps) {
+              auto& o = arr.next();
+              o << R"({"name":)";
+              json_str(o, "hop r" + std::to_string(ev.router));
+              o << R"(,"cat":"flight","ph":"X","pid":)" << fpid << R"(,"tid":)" << tid
+                << R"(,"ts":)" << to_us(arrive_ps) << R"(,"dur":)"
+                << to_us(ev.t_ps - arrive_ps) << R"(,"args":{"packet_id":)" << f.packet_id
+                << R"(,"router":)" << ev.router << R"(,"out_port":)" << ev.arg
+                << R"(,"route_wait_ns":)" << (route_ps > arrive_ps ? (route_ps - arrive_ps) : 0) * 1e-3
+                << R"(,"va_wait_ns":)"
+                << (grant_ps > 0 && route_ps > 0 && grant_ps > route_ps ? (grant_ps - route_ps) : 0) * 1e-3
+                << R"(,"st_wait_ns":)"
+                << (grant_ps > 0 && ev.t_ps > grant_ps ? (ev.t_ps - grant_ps) : 0) * 1e-3 << "}}";
+            }
+            in_hop = false;
+            break;
+          default: break;
+        }
+      }
+      // Flow events (only for completed inject → eject journeys).
+      if (has_inject && has_eject) {
+        {
+          auto& o = arr.next();
+          o << R"({"name":"flight","cat":"flight","ph":"s","id":)" << f.packet_id
+            << R"(,"pid":)" << fpid << R"(,"tid":)" << tid << R"(,"ts":)"
+            << to_us(inject_ps) << "}";
+        }
+        for (const FlightEvent& ev : f.events) {
+          if (ev.stage != FlightStage::RouterDepart || ev.t_ps >= eject_ps) continue;
+          auto& o = arr.next();
+          o << R"({"name":"flight","cat":"flight","ph":"t","id":)" << f.packet_id
+            << R"(,"pid":)" << fpid << R"(,"tid":)" << tid << R"(,"ts":)"
+            << to_us(ev.t_ps) << "}";
+        }
+        {
+          auto& o = arr.next();
+          o << R"({"name":"flight","cat":"flight","ph":"f","bp":"e","id":)" << f.packet_id
+            << R"(,"pid":)" << fpid << R"(,"tid":)" << tid << R"(,"ts":)"
+            << to_us(eject_ps) << "}";
+        }
+      }
+    }
   }
 
   arr.close();

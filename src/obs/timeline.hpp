@@ -5,7 +5,7 @@
 /// (`.nocobs`) for large runs and a Chrome trace-event / Perfetto JSON
 /// export for interactive inspection.
 ///
-/// ## Binary format (`.nocobs`, version 1)
+/// ## Binary format (`.nocobs`, version 2)
 ///
 /// All integers little-endian, strings length-prefixed (u32 + bytes):
 ///
@@ -22,13 +22,25 @@
 ///         (u64 deltas for counters, f64 for gauges)
 ///     u32 num_events; per event: u8 kind, i32 island, u64 t_ps, f64 a, f64 b
 ///
+/// Version 2 appends (a v1 file reads back with both sections empty):
+///
+///     u32 num_flights; per flight: u64 packet_id, i32 src, i32 dst,
+///         i32 size_flits, u8 traffic_class, u64 create_t_ps,
+///         u32 num_events; per event: u64 t_ps, i32 router, i32 arg, u8 stage
+///     u32 num_histograms; per histogram: str label, u64 count, min, max,
+///         u32 num_buckets; per bucket: u32 index, u64 count
+///
 /// ## Perfetto JSON
 ///
 /// `{"traceEvents": [...]}` with one process per island (pid = island + 1,
 /// named via `process_name` metadata) plus pid 0 for network-scope events.
 /// Control windows are "X" duration spans carrying the island row as args,
 /// frequency is a "C" counter track, and actuations / throttle transitions
-/// / fault epochs / settle points are "i" instants. Timestamps are µs
+/// / fault epochs / settle points are "i" instants. Sampled packet flights
+/// live in one extra process (pid = num_islands + 1): per router visit an
+/// "X" hop span (args: route/VA/switch wait, out port) on a per-flight
+/// track, connected by "s"/"t"/"f" flow events keyed on the packet id so
+/// the journey renders as arrows across hops. Timestamps are µs
 /// (trace-event convention), derived from the picosecond clock, and emitted
 /// in non-decreasing order per track. Load the file at https://ui.perfetto.dev
 /// or chrome://tracing.

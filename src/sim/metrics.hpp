@@ -115,6 +115,36 @@ struct TelemetryResult {
   std::vector<HotLink> top_links;  ///< by link flits, descending
 };
 
+/// Streaming latency-distribution slice of a run — empty/zero when `hist=`
+/// is off (the default), so the off-path result is bit-identical to a
+/// build without the subsystem. Filled from the fixed-memory log2-bucket
+/// histograms (obs::LatencyHistogram): counts and min/max are exact,
+/// quantiles are within one sub-bucket (≤ 50% relative error) of the true
+/// order statistic of the delivered-packet population.
+struct DelayDistResult {
+  /// Percentile summary of one histogram. The unit is whatever the
+  /// histogram recorded (ns for delay slices, NoC cycles for latency).
+  struct Slice {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+  };
+
+  bool enabled = false;
+  Slice delay_ns;         ///< end-to-end packet delay, all delivered packets
+  Slice latency_cycles;   ///< network latency in NoC clock cycles
+  /// Per destination island (index = island id) — the receiving side's
+  /// tail, matching the paper's DMSD measurement path.
+  std::vector<Slice> island_delay_ns;
+  /// Per delivered hop count (index = hops, capped at the longest seen).
+  std::vector<Slice> hop_delay_ns;
+};
+
 struct RunResult {
   // --- offered load ---
   double offered_lambda = 0.0;           ///< nominal, flits/node-cycle/node
@@ -171,6 +201,9 @@ struct RunResult {
 
   // --- telemetry (telemetry= runs only; see TelemetryResult) ---
   TelemetryResult telemetry;
+
+  // --- latency distributions (hist= runs only; see DelayDistResult) ---
+  DelayDistResult delay_dist;
 
   // --- derived efficiency metrics ---
   /// Total NoC energy per delivered payload bit over the measurement

@@ -110,6 +110,17 @@ struct Scenario {
   /// Empty keeps the timeline in memory (RunResult::telemetry only).
   /// Inert when telemetry=off.
   std::string telemetry_out;
+  /// `on` enables the streaming latency histograms (global, per
+  /// destination island, per hop count) surfaced in
+  /// RunResult::delay_dist; `off` (default) is bit-identical to a build
+  /// without them. Independent of `telemetry=`.
+  std::string hist = "off";
+  /// `on` samples whole packet journeys into the flight recorder and
+  /// exports them with the telemetry timeline — requires `telemetry=` to
+  /// be non-off (the flights ride in the `.nocobs`/Perfetto files).
+  std::string pkt_trace = "off";
+  /// Sample 1 in N packets (deterministic in the packet id); >= 1.
+  std::uint64_t pkt_trace_rate = 64;
 
   // --- thermal model & throttling (src/thermal/, dvfs/thermal_guard.hpp) ---
   /// Enable the RC thermal network, temperature-dependent leakage and the

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/latency_hist.hpp"
 #include "obs/timeline.hpp"
 
 namespace nocdvfs::sim {
@@ -221,6 +223,26 @@ RunResult Simulator::run(const RunPhases& phases) {
     if (telem_full) timeline.links = net_.link_table();
   }
 
+  // --- latency-distribution state (hist=; the off path is untouched) ---
+  const bool hist_on = cfg_.hist;
+  /// Hop counts above this share the last bucket (fixed memory; a packet
+  /// cannot take more hops than this on any supported topology/size).
+  constexpr std::size_t kMaxHopSlices = 64;
+  obs::LatencyHistogram hist_delay_ps;       ///< end-to-end delay, integer ps
+  obs::LatencyHistogram hist_latency_cycles;
+  std::vector<obs::LatencyHistogram> hist_island_delay;  ///< by destination island
+  std::vector<obs::LatencyHistogram> hist_hop_delay;     ///< by hop count, grown on demand
+  if (hist_on) hist_island_delay.resize(static_cast<std::size_t>(n_islands));
+
+  // --- packet flight recorder (pkt_trace=; rides in the telemetry files) ---
+  std::unique_ptr<obs::FlightRecorder> flight_rec;
+  if (telem_on && cfg_.pkt_trace) {
+    obs::FlightRecorder::Config fr_cfg;
+    fr_cfg.rate = std::max<std::uint64_t>(cfg_.pkt_trace_rate, 1);
+    flight_rec = std::make_unique<obs::FlightRecorder>(fr_cfg);
+    net_.set_flight_recorder(flight_rec.get());
+  }
+
   /// Append FaultEpoch/Reroute events for every fault epoch the network has
   /// applied since the last drain (timestamped at the epoch itself, which
   /// generally falls inside the preceding window).
@@ -271,6 +293,18 @@ RunResult Simulator::run(const RunPhases& phases) {
         delay_hist.add(d_ns);
         class_delay_stats[rec.traffic_class == 0 ? 0 : 1].add(d_ns);
         meas[static_cast<std::size_t>(isl)].delay_stats.add(d_ns);
+        if (hist_on) {
+          // Integer picoseconds: timestamps are integer ps, so this is the
+          // exact delay (the double d_ns above is the same quantity scaled).
+          const auto d_ps = static_cast<std::uint64_t>(rec.eject_time_ps - rec.create_time_ps);
+          hist_delay_ps.record(d_ps);
+          hist_latency_cycles.record(rec.latency_cycles());
+          hist_island_delay[static_cast<std::size_t>(isl)].record(d_ps);
+          const std::size_t h =
+              std::min(static_cast<std::size_t>(rec.hops), kMaxHopSlices - 1);
+          if (h >= hist_hop_delay.size()) hist_hop_delay.resize(h + 1);
+          hist_hop_delay[h].record(d_ps);
+        }
       }
       // Closed-loop workloads (request–reply) react to deliveries.
       traffic_->on_packet_delivered(rec, clock_.now());
@@ -653,6 +687,44 @@ RunResult Simulator::run(const RunPhases& phases) {
       }
     }
 
+    if (hist_on) {
+      // Histogram slices record integer picoseconds; the result slice
+      // reports ns like every other delay field (exact /1000 in doubles).
+      auto ns_slice = [](const obs::LatencyHistogram& h) {
+        DelayDistResult::Slice s;
+        s.count = h.count();
+        if (!h.empty()) {
+          s.min = static_cast<double>(h.min()) * 1e-3;
+          s.max = static_cast<double>(h.max()) * 1e-3;
+          s.p50 = static_cast<double>(h.quantile(0.50)) * 1e-3;
+          s.p90 = static_cast<double>(h.quantile(0.90)) * 1e-3;
+          s.p95 = static_cast<double>(h.quantile(0.95)) * 1e-3;
+          s.p99 = static_cast<double>(h.quantile(0.99)) * 1e-3;
+          s.p999 = static_cast<double>(h.quantile(0.999)) * 1e-3;
+        }
+        return s;
+      };
+      DelayDistResult& dd = result.delay_dist;
+      dd.enabled = true;
+      dd.delay_ns = ns_slice(hist_delay_ps);
+      dd.latency_cycles.count = hist_latency_cycles.count();
+      if (!hist_latency_cycles.empty()) {
+        dd.latency_cycles.min = static_cast<double>(hist_latency_cycles.min());
+        dd.latency_cycles.max = static_cast<double>(hist_latency_cycles.max());
+        dd.latency_cycles.p50 = static_cast<double>(hist_latency_cycles.quantile(0.50));
+        dd.latency_cycles.p90 = static_cast<double>(hist_latency_cycles.quantile(0.90));
+        dd.latency_cycles.p95 = static_cast<double>(hist_latency_cycles.quantile(0.95));
+        dd.latency_cycles.p99 = static_cast<double>(hist_latency_cycles.quantile(0.99));
+        dd.latency_cycles.p999 = static_cast<double>(hist_latency_cycles.quantile(0.999));
+      }
+      for (const obs::LatencyHistogram& h : hist_island_delay) {
+        dd.island_delay_ns.push_back(ns_slice(h));
+      }
+      for (const obs::LatencyHistogram& h : hist_hop_delay) {
+        dd.hop_delay_ns.push_back(ns_slice(h));
+      }
+    }
+
     if (telem_on) {
       telemetry_drain_faults();
       // Close the run with one final window (no control update runs at
@@ -725,6 +797,25 @@ RunResult Simulator::run(const RunPhases& phases) {
                 });
       if (links.size() > top_k) links.resize(top_k);
       tr.top_links = std::move(links);
+
+      // Timeline v2 sections: sampled flights (complete and still in
+      // flight) and the histogram snapshots, so nocdvfs_report can
+      // re-derive the percentile tables offline.
+      if (flight_rec) timeline.flights = flight_rec->take_flights();
+      if (hist_on) {
+        timeline.histograms.push_back(hist_delay_ps.snapshot("delay_ps"));
+        timeline.histograms.push_back(hist_latency_cycles.snapshot("latency_cycles"));
+        for (int i = 0; i < n_islands; ++i) {
+          timeline.histograms.push_back(hist_island_delay[static_cast<std::size_t>(i)]
+                                            .snapshot("island" + std::to_string(i) +
+                                                      "_delay_ps"));
+        }
+        for (std::size_t h = 0; h < hist_hop_delay.size(); ++h) {
+          if (hist_hop_delay[h].empty()) continue;
+          timeline.histograms.push_back(
+              hist_hop_delay[h].snapshot("hops" + std::to_string(h) + "_delay_ps"));
+        }
+      }
 
       if (!cfg_.telemetry.out_base.empty()) {
         obs::write_timeline_binary(timeline, cfg_.telemetry.out_base + ".nocobs");

@@ -392,7 +392,9 @@ void CsvResultSink::begin_sweep(const std::string& group,
            "topology,routing,faults,max_hops,dropped_packets,unreachable_pairs,"
            "rerouted_pairs,"
            "telemetry,stall_route,stall_vc_alloc,stall_switch,stall_credit,"
-           "stall_drop,hot_tile,hot_tile_flits,hot_link,hot_link_flits\n";
+           "stall_drop,hot_tile,hot_tile_flits,hot_link,hot_link_flits,"
+           "min_delay_ns,max_delay_ns,hist,dist_p50_ns,dist_p90_ns,dist_p95_ns,"
+           "dist_p99_ns,dist_p999_ns,dist_max_ns\n";
     header_written_ = true;
   }
 }
@@ -438,6 +440,11 @@ void CsvResultSink::on_result(const SweepRecord& record) {
     row << tel.top_links.front().src << "->" << tel.top_links.front().dst << ','
         << tel.top_links.front().flits;
   }
+  const DelayDistResult& dd = r.delay_dist;
+  row << ',' << r.min_delay_ns << ',' << r.max_delay_ns << ','
+      << (dd.enabled ? "on" : "off") << ',' << dd.delay_ns.p50 << ','
+      << dd.delay_ns.p90 << ',' << dd.delay_ns.p95 << ',' << dd.delay_ns.p99 << ','
+      << dd.delay_ns.p999 << ',' << dd.delay_ns.max;
   row << '\n';
   os_ << row.str();
 }
@@ -473,6 +480,8 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
      << "\",\"concentration\":" << s.network.concentration << ",\"faults\":\""
      << json_escape(s.network.faults.empty() ? "off" : s.network.faults) << "\"}"
      << ",\"result\":{\"avg_delay_ns\":" << r.avg_delay_ns
+     << ",\"min_delay_ns\":" << r.min_delay_ns
+     << ",\"max_delay_ns\":" << r.max_delay_ns
      << ",\"p99_delay_ns\":" << r.p99_delay_ns
      << ",\"avg_latency_cycles\":" << r.avg_latency_cycles
      << ",\"avg_frequency_ghz\":" << r.avg_frequency_ghz()
@@ -520,6 +529,32 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
     os << "{\"src\":" << r.telemetry.top_links[i].src
        << ",\"dst\":" << r.telemetry.top_links[i].dst
        << ",\"flits\":" << r.telemetry.top_links[i].flits << "}";
+  }
+  os << "]}";
+  const DelayDistResult& dd = r.delay_dist;
+  auto dist_slice = [&os](const char* name, const DelayDistResult::Slice& sl) {
+    os << '"' << name << "\":{\"count\":" << sl.count << ",\"min\":" << sl.min
+       << ",\"max\":" << sl.max << ",\"p50\":" << sl.p50 << ",\"p90\":" << sl.p90
+       << ",\"p95\":" << sl.p95 << ",\"p99\":" << sl.p99 << ",\"p999\":" << sl.p999
+       << "}";
+  };
+  os << ",\"delay_dist\":{\"enabled\":" << (dd.enabled ? "true" : "false") << ',';
+  dist_slice("delay_ns", dd.delay_ns);
+  os << ',';
+  dist_slice("latency_cycles", dd.latency_cycles);
+  os << ",\"island_delay_ns\":[";
+  for (std::size_t i = 0; i < dd.island_delay_ns.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '{';
+    dist_slice("dist", dd.island_delay_ns[i]);
+    os << '}';
+  }
+  os << "],\"hop_delay_ns\":[";
+  for (std::size_t i = 0; i < dd.hop_delay_ns.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '{';
+    dist_slice("dist", dd.hop_delay_ns[i]);
+    os << '}';
   }
   os << "]}"
      << ",\"islands\":[";

@@ -20,8 +20,8 @@ void RecordingTraffic::node_tick(common::Picoseconds now, std::uint64_t noc_cycl
                                  noc::Network& net) {
   if (net_ != &net) {
     net_ = &net;
-    net.set_injection_observer([this](noc::NodeId src, noc::NodeId dst, int size_flits,
-                                      std::uint8_t traffic_class) {
+    net.set_injection_observer([this](noc::PacketId, noc::NodeId src, noc::NodeId dst,
+                                      int size_flits, std::uint8_t traffic_class) {
       TracePacket p;
       p.inject_node_cycle = node_cycle_;
       p.src = static_cast<std::uint16_t>(src);

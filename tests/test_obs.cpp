@@ -125,6 +125,33 @@ obs::Timeline synthetic_timeline() {
   tl.events = {{obs::EventKind::DvfsActuation, 0, 10'000'000, 5e8, 1e9},
                {obs::EventKind::FaultEpoch, -1, 15'000'000, 2.0, 0.0},
                {obs::EventKind::Settled, 1, 20'000'000, 6e8, 0.0}};
+  // v2 sections: one complete two-hop packet flight and one histogram.
+  obs::FlightRecord fl;
+  fl.packet_id = 42;
+  fl.src = 0;
+  fl.dst = 1;
+  fl.size_flits = 20;
+  fl.traffic_class = 1;
+  fl.create_t_ps = 900;
+  fl.events = {{1000, -1, 0, obs::FlightStage::Inject},
+               {1100, 0, 0, obs::FlightStage::RouterArrive},
+               {1200, 0, 2, obs::FlightStage::RouteComputed},
+               {1300, 0, 1, obs::FlightStage::VcGranted},
+               {1400, 0, 2, obs::FlightStage::RouterDepart},
+               {1500, 1, 1, obs::FlightStage::RouterArrive},
+               {1600, 1, 4, obs::FlightStage::RouteComputed},
+               {1700, 1, 0, obs::FlightStage::VcGranted},
+               {1900, 1, 4, obs::FlightStage::RouterDepart},
+               {2000, -1, 0, obs::FlightStage::Eject}};
+  tl.flights.push_back(fl);
+  obs::HistogramSnapshot hs;
+  hs.label = "delay_ps";
+  hs.count = 3;
+  hs.min = 100;
+  hs.max = 4000;
+  hs.bucket_index = {13, 23};
+  hs.bucket_count = {2, 1};
+  tl.histograms.push_back(hs);
   return tl;
 }
 
@@ -162,6 +189,27 @@ TEST(TimelineBinary, RoundTripsEveryField) {
   EXPECT_EQ(rt.events[1].island, -1);
   EXPECT_EQ(rt.events[2].t_ps, 20'000'000u);
   EXPECT_DOUBLE_EQ(rt.events[0].b, 1e9);
+  // v2 sections.
+  EXPECT_EQ(rt.version, obs::Timeline::kVersion);
+  ASSERT_EQ(rt.flights.size(), tl.flights.size());
+  EXPECT_EQ(rt.flights[0].packet_id, 42u);
+  EXPECT_EQ(rt.flights[0].src, 0);
+  EXPECT_EQ(rt.flights[0].dst, 1);
+  EXPECT_EQ(rt.flights[0].size_flits, 20);
+  EXPECT_EQ(rt.flights[0].traffic_class, 1);
+  EXPECT_EQ(rt.flights[0].create_t_ps, 900u);
+  ASSERT_EQ(rt.flights[0].events.size(), tl.flights[0].events.size());
+  EXPECT_EQ(rt.flights[0].events[1].stage, obs::FlightStage::RouterArrive);
+  EXPECT_EQ(rt.flights[0].events[4].arg, 2);
+  EXPECT_EQ(rt.flights[0].events.back().t_ps, 2000u);
+  EXPECT_EQ(rt.flights[0].events.back().stage, obs::FlightStage::Eject);
+  ASSERT_EQ(rt.histograms.size(), 1u);
+  EXPECT_EQ(rt.histograms[0].label, "delay_ps");
+  EXPECT_EQ(rt.histograms[0].count, 3u);
+  EXPECT_EQ(rt.histograms[0].min, 100u);
+  EXPECT_EQ(rt.histograms[0].max, 4000u);
+  EXPECT_EQ(rt.histograms[0].bucket_index, tl.histograms[0].bucket_index);
+  EXPECT_EQ(rt.histograms[0].bucket_count, tl.histograms[0].bucket_count);
   fs::remove(path);
 }
 
@@ -189,13 +237,26 @@ TEST(TimelinePerfetto, EmitsStructuredTraceEvents) {
   const std::string json = os.str();
   EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
   EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
-  // One X span per (window, island) on the control-window track.
+  // One X span per (window, island) on the control-window track, plus the
+  // flight's two hop spans and its source-queue wait (inject > create).
   std::size_t spans = 0;
   for (std::size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
        ++pos) {
     ++spans;
   }
-  EXPECT_EQ(spans, static_cast<std::size_t>(tl.windows() * tl.num_islands));
+  EXPECT_EQ(spans, static_cast<std::size_t>(tl.windows() * tl.num_islands) + 3);
+  // The complete journey is stitched with flow events keyed on the packet
+  // id: one start at injection, one step per mid-journey hop, one end.
+  const auto count_of = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = 0; (pos = json.find(needle, pos)) != std::string::npos; ++pos) ++n;
+    return n;
+  };
+  EXPECT_EQ(count_of("\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_of("\"ph\":\"t\""), 2u);
+  EXPECT_EQ(count_of("\"ph\":\"f\""), 1u);
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":42"), std::string::npos);
   std::size_t instants = 0;
   for (std::size_t pos = 0; (pos = json.find("\"ph\":\"i\"", pos)) != std::string::npos;
        ++pos) {

@@ -204,7 +204,7 @@ std::vector<Injection> drive(trace::TraceTraffic& model, int mesh_w, int mesh_h,
   std::vector<Injection> out;
   std::uint64_t tick = 0;
   net.set_injection_observer(
-      [&](noc::NodeId src, noc::NodeId dst, int flits, std::uint8_t) {
+      [&](noc::PacketId, noc::NodeId src, noc::NodeId dst, int flits, std::uint8_t) {
         out.push_back({tick, src, dst, flits});
       });
   for (; tick < ticks; ++tick) model.node_tick(tick * 1000, 0, net);

@@ -10,6 +10,8 @@
 ///                                                   (needs telemetry=full)
 ///   nocdvfs_report islands <file.nocobs>            per-island actuation
 ///   nocdvfs_report events  <file.nocobs> [n]        the event timeline
+///   nocdvfs_report percentiles <file.nocobs>        latency-distribution
+///                                                   tables (hist=on runs)
 ///
 /// Everything renders from the binary timeline alone — no simulator state
 /// — so reports work on artifacts copied off CI.
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency_hist.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timeline.hpp"
 
@@ -32,16 +35,18 @@ using nocdvfs::obs::Timeline;
 
 int usage() {
   std::cerr
-      << "usage: nocdvfs_report <summary|heatmap|links|islands|events> <file.nocobs> "
-         "[metric|count]\n"
-         "  summary  header, stall-cause breakdown, hot tiles/links, island recap\n"
-         "  heatmap  ASCII per-tile heatmap of a tile metric (default "
+      << "usage: nocdvfs_report <summary|heatmap|links|islands|events|percentiles> "
+         "<file.nocobs> [metric|count]\n"
+         "  summary     header, stall-cause breakdown, hot tiles/links, island recap\n"
+         "  heatmap     ASCII per-tile heatmap of a tile metric (default "
          "flits_forwarded;\n"
-         "           try stall_credit, busy_vc_cycles, flits_dropped, ...)\n"
-         "  links    top [count] congested links by forwarded flits (telemetry=full "
-         "runs)\n"
-         "  islands  per-island actuation summary (policy, f stats, events)\n"
-         "  events   the run's event timeline (first [count] events; default all)\n";
+         "              try stall_credit, busy_vc_cycles, flits_dropped, ...)\n"
+         "  links       top [count] congested links by forwarded flits "
+         "(telemetry=full runs)\n"
+         "  islands     per-island actuation summary (policy, f stats, events)\n"
+         "  events      the run's event timeline (first [count] events; default all)\n"
+         "  percentiles latency-distribution tables: p50..p99.9 per scope "
+         "(hist=on runs)\n";
   return 2;
 }
 
@@ -54,7 +59,7 @@ std::pair<int, int> tile_grid(const Timeline& tl) {
 
 void print_header(const Timeline& tl, const std::string& path) {
   std::cout << "file:       " << path << "\n"
-            << "format:     nocobs v" << Timeline::kVersion << "\n"
+            << "format:     nocobs v" << tl.version << "\n"
             << "mesh:       " << tl.width << "x" << tl.height << " nodes, "
             << tl.num_routers << " routers (concentration " << tl.concentration
             << ")\n"
@@ -162,10 +167,19 @@ int cmd_islands(const Timeline& tl) {
     if (ev.kind == EventKind::DvfsActuation) ++actuations[static_cast<std::size_t>(ev.island)];
     if (ev.kind == EventKind::ThrottleEngage) ++throttles[static_cast<std::size_t>(ev.island)];
   }
-  std::cout << "island  policy        nodes  f_mean(GHz)  f_min   f_max   f_final  "
-               "actuations  throttles  throttled_windows\n";
+  // The island column grows with the id's digit count so the table stays
+  // aligned past 10 (or 100) islands.
+  const int iw = std::max<int>(
+      8, static_cast<int>(std::to_string(std::max(tl.num_islands - 1, 0)).size()) + 2);
+  std::cout << std::left << std::setw(iw) << "island" << std::setw(14) << "policy"
+            << std::setw(7) << "nodes" << std::right << std::setw(11) << "f_mean(GHz)"
+            << std::setw(8) << "f_min" << std::setw(8) << "f_max" << std::setw(9)
+            << "f_final" << std::setw(14) << "avg_delay(ns)" << std::setw(12)
+            << "actuations" << std::setw(11) << "throttles" << std::setw(19)
+            << "throttled_windows" << "\n";
   for (int i = 0; i < tl.num_islands; ++i) {
     double f_min = 0.0, f_max = 0.0, f_sum = 0.0, f_final = 0.0;
+    double delay_sum = 0.0;
     std::uint64_t throttled_windows = 0;
     for (int w = 0; w < tl.windows(); ++w) {
       const nocdvfs::obs::IslandWindowRow& row = tl.island_row(w, i);
@@ -176,20 +190,56 @@ int cmd_islands(const Timeline& tl) {
         f_max = std::max(f_max, row.f_hz);
       }
       f_sum += row.f_hz;
+      delay_sum += row.avg_delay_ns;
       if (row.throttled != 0) ++throttled_windows;
       f_final = row.f_hz;
     }
     const double f_mean = tl.windows() > 0 ? f_sum / tl.windows() : 0.0;
-    std::cout << std::left << std::setw(8) << i << std::setw(14)
+    const double delay_mean = tl.windows() > 0 ? delay_sum / tl.windows() : 0.0;
+    std::cout << std::left << std::setw(iw) << i << std::setw(14)
               << (i < static_cast<int>(tl.island_policy.size()) ? tl.island_policy[static_cast<std::size_t>(i)]
                                                                 : "?")
               << std::setw(7)
               << (i < static_cast<int>(tl.island_nodes.size()) ? tl.island_nodes[static_cast<std::size_t>(i)] : 0)
               << std::right << std::fixed << std::setprecision(3) << std::setw(11)
               << f_mean * 1e-9 << std::setw(8) << f_min * 1e-9 << std::setw(8)
-              << f_max * 1e-9 << std::setw(9) << f_final * 1e-9 << std::defaultfloat
+              << f_max * 1e-9 << std::setw(9) << f_final * 1e-9 << std::setprecision(1)
+              << std::setw(14) << delay_mean << std::defaultfloat
               << std::setw(12) << actuations[static_cast<std::size_t>(i)] << std::setw(11)
               << throttles[static_cast<std::size_t>(i)] << std::setw(19) << throttled_windows << "\n";
+  }
+  return 0;
+}
+
+int cmd_percentiles(const Timeline& tl) {
+  if (tl.histograms.empty()) {
+    std::cerr << "error: no latency histograms in this timeline (record them with "
+                 "hist=on telemetry=windows|full telemetry_out=<base>)\n";
+    return 1;
+  }
+  std::cout << "latency percentiles (streaming log2 sub-bucket histograms; each "
+               "quantile is exact\nto within one bucket width):\n"
+            << std::left << std::setw(22) << "scope" << std::setw(8) << "unit"
+            << std::right << std::setw(10) << "count" << std::setw(11) << "min"
+            << std::setw(11) << "p50" << std::setw(11) << "p90" << std::setw(11)
+            << "p95" << std::setw(11) << "p99" << std::setw(11) << "p99.9"
+            << std::setw(11) << "max" << "\n";
+  for (const nocdvfs::obs::HistogramSnapshot& h : tl.histograms) {
+    // Picosecond-valued scopes render in ns; everything else is raw cycles.
+    const bool ps =
+        h.label.size() > 3 && h.label.compare(h.label.size() - 3, 3, "_ps") == 0;
+    const double scale = ps ? 1e-3 : 1.0;
+    const std::string scope = ps ? h.label.substr(0, h.label.size() - 3) : h.label;
+    const auto q = [&](double p) {
+      return static_cast<double>(nocdvfs::obs::snapshot_quantile(h, p)) * scale;
+    };
+    std::cout << std::left << std::setw(22) << scope << std::setw(8)
+              << (ps ? "ns" : "cycles") << std::right << std::setw(10) << h.count
+              << std::fixed << std::setprecision(1) << std::setw(11)
+              << static_cast<double>(h.min) * scale << std::setw(11) << q(0.5)
+              << std::setw(11) << q(0.9) << std::setw(11) << q(0.95) << std::setw(11)
+              << q(0.99) << std::setw(11) << q(0.999) << std::setw(11)
+              << static_cast<double>(h.max) * scale << std::defaultfloat << "\n";
   }
   return 0;
 }
@@ -269,6 +319,10 @@ int cmd_summary(const Timeline& tl, const std::string& path) {
   }
   std::cout << "\n";
   cmd_islands(tl);
+  if (!tl.histograms.empty()) {
+    std::cout << "\n";
+    cmd_percentiles(tl);
+  }
   std::cout << "\nevents: " << tl.events.size() << " (nocdvfs_report events " << path
             << " to list)\n";
   std::cout << "\n";
@@ -293,6 +347,7 @@ int main(int argc, char** argv) {
       return cmd_links(tl, count);
     }
     if (cmd == "islands") return cmd_islands(tl);
+    if (cmd == "percentiles") return cmd_percentiles(tl);
     if (cmd == "events") {
       const int count = argc > 3 ? std::stoi(argv[3]) : 0;
       return cmd_events(tl, count);

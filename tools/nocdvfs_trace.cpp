@@ -28,7 +28,8 @@ using nocdvfs::trace::TracePacket;
 int usage() {
   std::cerr << "usage: nocdvfs_trace <info|head|stats> <file.noctrace> [count|--csv]\n"
                "  info   print the header and aggregate summary\n"
-               "  head   print the first [count] records (default 10)\n"
+               "  head   print the first [count] records with their packet ids "
+               "(default 10)\n"
                "  stats  per-class and per-node breakdown of the full trace;\n"
                "         --csv emits one row per node "
                "(node,x,y,src_packets,src_flits,dst_packets,dst_flits)\n";
@@ -68,13 +69,17 @@ int cmd_info(const std::string& path) {
 
 int cmd_head(const std::string& path, std::uint64_t count) {
   TraceReader reader(path);
-  std::cout << "cycle,src,dst,flits,class\n";
+  // Recording observes every enqueue (including route-refused packets, which
+  // still consume an id), so the record ordinal IS the packet's globally
+  // unique id — no per-record id field is needed in the format.
+  std::cout << "packet_id,cycle,src,dst,flits,class\n";
   std::uint64_t shown = 0;
   while (shown < count) {
     const auto p = reader.next();
     if (!p) break;
-    std::cout << p->inject_node_cycle << ',' << p->src << ',' << p->dst << ','
-              << p->flits << ',' << static_cast<int>(p->traffic_class) << "\n";
+    std::cout << shown << ',' << p->inject_node_cycle << ',' << p->src << ','
+              << p->dst << ',' << p->flits << ','
+              << static_cast<int>(p->traffic_class) << "\n";
     ++shown;
   }
   return 0;
