@@ -193,6 +193,10 @@ class Harness {
     config_.declare_int("threads", 0, "sweep worker threads (0 = all cores)");
     config_.declare("csv", "", "write headline-metric CSV rows to this path");
     config_.declare("json", "", "write JSONL results + trajectories to this path");
+    config_.declare("prof_out", "",
+                    "write the sweep's host timeline (worker spans + merged prof=on "
+                    "phase profile) to <prof_out>.nocobs/.json; reflects the most "
+                    "recently executed sweep");
     config_.declare_bool("help", false, "print declared keys and exit");
   }
 
@@ -249,7 +253,18 @@ class Harness {
                                       const std::vector<sim::SweepAxis>& axes,
                                       const std::string& group = "") {
     ensure_runner();
-    return runner_->run(base, axes, group.empty() ? figure_ : group);
+    auto records = runner_->run(base, axes, group.empty() ? figure_ : group);
+    const std::string prof_out = config_.get_string("prof_out");
+    if (!prof_out.empty()) {
+      const std::filesystem::path p(prof_out);
+      if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+      }
+      sim::write_sweep_host_timeline(runner_->host_report(), prof_out);
+      std::cout << "wrote host timeline " << prof_out << ".nocobs / .json\n";
+    }
+    return records;
   }
 
  private:

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "obs/manifest.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -51,26 +52,10 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 /// Host speed yardstick: xorshift64 steps per microsecond over ~0.2 s.
 /// Pure integer ALU + registers — stable across runs, roughly proportional
-/// to single-core speed, which is what the simulator is bound by.
-double calibrate_mops() {
-  volatile std::uint64_t sink = 0;
-  std::uint64_t x = 88172645463325252ull;
-  std::uint64_t ops = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  double elapsed = 0.0;
-  do {
-    for (int i = 0; i < 1000000; ++i) {
-      x ^= x << 13;
-      x ^= x >> 7;
-      x ^= x << 17;
-    }
-    ops += 1000000;
-    elapsed = seconds_since(t0);
-  } while (elapsed < 0.2);
-  sink = x;
-  (void)sink;
-  return static_cast<double>(ops) / elapsed / 1e6;
-}
+/// to single-core speed, which is what the simulator is bound by. The
+/// measurement itself lives in obs/manifest.cpp so run manifests record
+/// the same `host.calib_mops` the compare gate normalizes by.
+double calibrate_mops() { return obs::host_calib_mops(); }
 
 struct PerfScenario {
   std::string name;
@@ -166,10 +151,19 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// One scenario's host phase profile for the v2 "profile" block.
+struct ProfileRow {
+  std::string name;
+  obs::Profile profile;
+};
+
 void write_json(std::ostream& os, const std::vector<Measurement>& rows, bool fast,
-                double calib_mops) {
+                double calib_mops, const std::vector<ProfileRow>& profiles) {
   os << "{\n";
-  os << "  \"schema\": \"nocdvfs-bench-core-v1\",\n";
+  // v2 appends the per-scenario "profile" block; the compare parser keys on
+  // per-line "name"/"cycles_per_sec" pairs, so v1 files stay comparable
+  // (phase lines deliberately use "phase", not "name").
+  os << "  \"schema\": \"nocdvfs-bench-core-v2\",\n";
   os << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n";
   os << "  \"host\": { \"calib_mops\": " << std::fixed << std::setprecision(1) << calib_mops
      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
@@ -198,7 +192,27 @@ void write_json(std::ostream& os, const std::vector<Measurement>& rows, bool fas
        << ", \"ns_per_cycle\": " << std::setprecision(2) << m.ns_per_cycle() << " }"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  os << "  ]\n";
+  os << "  ]";
+  if (!profiles.empty()) {
+    os << ",\n  \"profile\": [\n";
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      const ProfileRow& pr = profiles[i];
+      os << "    { \"scenario\": \"" << json_escape(pr.name) << "\", \"phases\": [\n";
+      const auto& phases = pr.profile.phases;
+      for (std::size_t p = 0; p < phases.size(); ++p) {
+        os << "      { \"phase\": \"" << json_escape(phases[p].name)
+           << "\", \"depth\": " << phases[p].depth << ", \"calls\": " << phases[p].calls
+           << ", \"incl_ms\": " << std::setprecision(3)
+           << static_cast<double>(phases[p].inclusive_ns) * 1e-6
+           << ", \"excl_ms\": " << static_cast<double>(phases[p].exclusive_ns) * 1e-6
+           << " }" << (p + 1 < phases.size() ? "," : "") << "\n";
+      }
+      os << "    ] }" << (i + 1 < profiles.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+  } else {
+    os << "\n";
+  }
   os << "}\n";
 }
 
@@ -309,12 +323,22 @@ int main(int argc, char** argv) {
 
   const std::string out_path = cfg.get_string("out");
   if (!out_path.empty()) {
+    // One extra profiled pass per scenario (prof=on, 1 rep) feeds the v2
+    // phase-breakdown block. Kept out of the timed repeats so the profiler
+    // can never contaminate the gated numbers.
+    std::vector<ProfileRow> profiles;
+    for (const PerfScenario& p : perf_sweep(fast)) {
+      sim::Scenario s = p.s;
+      s.prof = "on";
+      const sim::RunResult r = sim::run(s);
+      profiles.push_back({p.name, r.host.profile});
+    }
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "error: cannot write " << out_path << "\n";
       return 1;
     }
-    write_json(out, rows, fast, calib);
+    write_json(out, rows, fast, calib, profiles);
     std::cout << "\nwrote " << out_path << "\n";
   }
 
@@ -331,6 +355,13 @@ int main(int argc, char** argv) {
   std::cout << "\ncompare vs " << compare_path << " (baseline host " << std::fixed
             << std::setprecision(1) << base.calib_mops << " Mops, tolerance "
             << static_cast<int>(tolerance * 100) << "%)\n";
+  // Full normalized-ratio table, printed on success and failure alike:
+  // base/fresh are calibration-relative throughputs (cycles/sec per Mop),
+  // ratio > 1 means faster than baseline, headroom is the distance to the
+  // gate (negative = regression).
+  std::cout << "  " << std::left << std::setw(28) << "scenario" << std::right
+            << std::setw(13) << "base(c/Mop)" << std::setw(14) << "fresh(c/Mop)"
+            << std::setw(9) << "ratio" << std::setw(11) << "headroom" << "\n";
   bool regressed = false;
   for (const Measurement& m : rows) {
     const auto it = base.cycles_per_sec.find(m.name);
@@ -340,11 +371,16 @@ int main(int argc, char** argv) {
       continue;
     }
     // Calibration-relative throughput ratio: >1 = faster than baseline.
-    const double ratio = (m.cycles_per_sec() / calib) / (it->second / base.calib_mops);
-    const bool fail = ratio < 1.0 - tolerance;
+    const double base_norm = it->second / base.calib_mops;
+    const double fresh_norm = m.cycles_per_sec() / calib;
+    const double ratio = fresh_norm / base_norm;
+    const double headroom = ratio - (1.0 - tolerance);
+    const bool fail = headroom < 0.0;
     std::cout << "  " << std::left << std::setw(28) << m.name << std::right << std::fixed
-              << std::setprecision(2) << ratio << "x" << (fail ? "  REGRESSION" : "")
-              << "\n";
+              << std::setprecision(0) << std::setw(13) << base_norm << std::setw(14)
+              << fresh_norm << std::setprecision(2) << std::setw(8) << ratio << "x"
+              << std::showpos << std::setw(10) << headroom << std::noshowpos
+              << (fail ? "  REGRESSION" : "") << "\n";
     regressed = regressed || fail;
   }
   if (regressed) {
@@ -352,6 +388,7 @@ int main(int argc, char** argv) {
               << "% — if intentional, regenerate BENCH_core.json\n";
     return 1;
   }
-  std::cout << "\nOK: no scenario regressed beyond the tolerance\n";
+  std::cout << "\nOK: no scenario regressed beyond the tolerance (max allowed loss "
+            << static_cast<int>(tolerance * 100) << "%)\n";
   return 0;
 }

@@ -148,4 +148,11 @@ std::vector<std::string> Config::summary_lines() const {
   return lines;
 }
 
+std::vector<std::pair<std::string, std::string>> Config::kv_pairs() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) out.emplace_back(key, e.value);
+  return out;
+}
+
 }  // namespace nocdvfs::common

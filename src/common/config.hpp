@@ -11,6 +11,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nocdvfs::common {
@@ -50,6 +51,11 @@ class Config {
   /// All declared keys in sorted order with current values (for --help
   /// output and experiment logging).
   std::vector<std::string> summary_lines() const;
+
+  /// All declared keys with their current values, sorted by key — the
+  /// machine-readable sibling of summary_lines(), used to dump a full
+  /// scenario into a run-provenance manifest.
+  std::vector<std::pair<std::string, std::string>> kv_pairs() const;
 
  private:
   struct Entry {

@@ -1,0 +1,43 @@
+#include "obs/memstats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace nocdvfs::obs {
+
+namespace {
+
+/// Parse one "/proc/self/status" line of the form "VmHWM:   1234 kB".
+/// Returns bytes, or 0 if the line is not the wanted field.
+std::uint64_t parse_kb_line(const char* line, const char* field) {
+  const std::size_t n = std::strlen(field);
+  if (std::strncmp(line, field, n) != 0) return 0;
+  std::uint64_t kb = 0;
+  if (std::sscanf(line + n, "%llu", reinterpret_cast<unsigned long long*>(&kb)) != 1) {
+    return 0;
+  }
+  return kb * 1024;
+}
+
+}  // namespace
+
+MemSample sample_process_memory() {
+  MemSample s;
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return s;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (const std::uint64_t hwm = parse_kb_line(line, "VmHWM:"); hwm > 0) {
+      s.peak_rss_bytes = hwm;
+    } else if (const std::uint64_t rss = parse_kb_line(line, "VmRSS:"); rss > 0) {
+      s.current_rss_bytes = rss;
+    }
+    if (s.peak_rss_bytes > 0 && s.current_rss_bytes > 0) break;
+  }
+  std::fclose(f);
+#endif
+  return s;
+}
+
+}  // namespace nocdvfs::obs

@@ -1,0 +1,211 @@
+#include "obs/prof.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace nocdvfs::obs {
+
+// ---------------------------------------------------------------------------
+// Profile
+// ---------------------------------------------------------------------------
+
+std::uint64_t Profile::root_inclusive_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (const PhaseStats& p : phases) {
+    if (p.depth == 0) total += p.inclusive_ns;
+  }
+  return total;
+}
+
+namespace {
+
+/// Scratch tree used to merge preorder profiles by (name, path).
+struct MergeNode {
+  PhaseStats stats;
+  std::vector<std::size_t> children;
+};
+
+/// Insert a preorder profile into the scratch tree rooted at node 0.
+/// Phases already present (same name under the same parent) accumulate;
+/// new phases append in encounter order, which keeps the merge
+/// deterministic for any fixed merge order.
+void insert_profile(std::vector<MergeNode>& tree, const Profile& p) {
+  // stack[d] = tree index of the current ancestor at depth d-1 (stack[0]
+  // is the synthetic root).
+  std::vector<std::size_t> stack = {0};
+  for (const PhaseStats& phase : p.phases) {
+    const std::size_t depth = static_cast<std::size_t>(phase.depth);
+    if (depth + 1 > stack.size()) {
+      throw std::logic_error("Profile::merge: preorder depth jumps by more than one");
+    }
+    stack.resize(depth + 1);
+    MergeNode& parent = tree[stack[depth]];
+    std::size_t node = 0;
+    for (const std::size_t c : parent.children) {
+      if (tree[c].stats.name == phase.name) {
+        node = c;
+        break;
+      }
+    }
+    if (node == 0) {
+      node = tree.size();
+      tree.push_back(MergeNode{PhaseStats{phase.name, phase.depth, 0, 0, 0}, {}});
+      tree[stack[depth]].children.push_back(node);
+    }
+    tree[node].stats.calls += phase.calls;
+    tree[node].stats.inclusive_ns += phase.inclusive_ns;
+    tree[node].stats.exclusive_ns += phase.exclusive_ns;
+    stack.push_back(node);
+  }
+}
+
+void emit_preorder(const std::vector<MergeNode>& tree, std::size_t node,
+                   std::vector<PhaseStats>& out) {
+  for (const std::size_t c : tree[node].children) {
+    out.push_back(tree[c].stats);
+    emit_preorder(tree, c, out);
+  }
+}
+
+}  // namespace
+
+void Profile::merge(const Profile& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    phases = other.phases;
+    return;
+  }
+  std::vector<MergeNode> tree(1);  // [0] = synthetic root
+  insert_profile(tree, *this);
+  insert_profile(tree, other);
+  std::vector<PhaseStats> merged;
+  merged.reserve(tree.size() - 1);
+  emit_preorder(tree, 0, merged);
+  phases = std::move(merged);
+}
+
+// ---------------------------------------------------------------------------
+// Collector / Scope
+// ---------------------------------------------------------------------------
+
+namespace prof {
+
+namespace detail {
+std::atomic<int> g_active_collectors{0};
+thread_local Collector* g_tl_collector = nullptr;
+}  // namespace detail
+
+Collector::Collector() {
+  nodes_.emplace_back();  // synthetic root; never emitted
+}
+
+Collector::~Collector() { uninstall(); }
+
+void Collector::install() {
+  if (installed_) return;
+  if (detail::g_tl_collector != nullptr) {
+    throw std::logic_error("prof::Collector: a collector is already installed on this thread");
+  }
+  detail::g_tl_collector = this;
+  installed_ = true;
+  detail::g_active_collectors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Collector::uninstall() {
+  if (!installed_) return;
+  detail::g_tl_collector = nullptr;
+  installed_ = false;
+  detail::g_active_collectors.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int Collector::enter(const char* name, int id) {
+  Node& cur = nodes_[static_cast<std::size_t>(current_)];
+  // Linear search: sibling counts are tiny (a handful of phases, or one
+  // per island) and the vector stays hot in cache.
+  for (const int c : cur.children) {
+    const Node& child = nodes_[static_cast<std::size_t>(c)];
+    if (child.name == name && child.id == id) {
+      current_ = c;
+      return c;
+    }
+  }
+  // Phase names come from string literals, so pointer comparison above is
+  // normally enough; a second pass by content catches distinct literals
+  // with equal text (e.g. the same macro expanded in two TUs).
+  for (const int c : cur.children) {
+    const Node& child = nodes_[static_cast<std::size_t>(c)];
+    if (child.id == id && std::string_view(child.name) == name) {
+      current_ = c;
+      return c;
+    }
+  }
+  const int node = static_cast<int>(nodes_.size());
+  Node fresh;
+  fresh.name = name;
+  fresh.id = id;
+  fresh.parent = current_;
+  nodes_.push_back(fresh);
+  nodes_[static_cast<std::size_t>(current_)].children.push_back(node);
+  current_ = node;
+  return node;
+}
+
+void Collector::leave(int node, std::uint64_t elapsed_ns) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  ++n.calls;
+  n.inclusive_ns += elapsed_ns;
+  nodes_[static_cast<std::size_t>(n.parent)].child_ns += elapsed_ns;
+  current_ = n.parent;
+}
+
+Profile Collector::take() const {
+  Profile out;
+  out.phases.reserve(nodes_.size() - 1);
+  // Iterative preorder over the children of the synthetic root.
+  struct Frame {
+    int node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  const auto& root_children = nodes_[0].children;
+  for (auto it = root_children.rbegin(); it != root_children.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(f.node)];
+    PhaseStats stats;
+    stats.name = n.name;
+    if (n.id >= 0) {
+      stats.name += '#';
+      stats.name += std::to_string(n.id);
+    }
+    stats.depth = f.depth;
+    stats.calls = n.calls;
+    stats.inclusive_ns = n.inclusive_ns;
+    stats.exclusive_ns = n.inclusive_ns >= n.child_ns ? n.inclusive_ns - n.child_ns : 0;
+    out.phases.push_back(std::move(stats));
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+void Scope::begin(const char* name, int id) noexcept {
+  Collector* c = detail::g_tl_collector;
+  if (c == nullptr) return;  // another thread is profiling, this one isn't
+  collector_ = c;
+  node_ = c->enter(name, id);
+  t0_ = std::chrono::steady_clock::now();
+}
+
+void Scope::end() noexcept {
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_).count();
+  collector_->leave(node_, ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+}
+
+}  // namespace prof
+}  // namespace nocdvfs::obs

@@ -25,10 +25,12 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/latency_hist.hpp"
+#include "obs/prof.hpp"
 
 namespace nocdvfs::obs {
 
@@ -157,15 +159,32 @@ struct IslandWindowRow {
   std::uint8_t throttled = 0;
 };
 
+/// One sweep point executed by one SweepRunner worker, timestamped on the
+/// host clock relative to the sweep start — the Perfetto host process
+/// renders these as per-worker track spans.
+struct HostWorkerSpan {
+  std::int32_t worker = 0;
+  std::uint64_t point = 0;  ///< row-major sweep point index
+  std::uint64_t t0_ns = 0;  ///< host time relative to sweep start
+  std::uint64_t t1_ns = 0;
+};
+
+/// Whole-sweep utilization summary of one SweepRunner worker.
+struct HostWorkerStats {
+  std::int32_t worker = 0;
+  std::uint64_t points = 0;   ///< sweep points this worker executed
+  std::uint64_t busy_ns = 0;  ///< Σ point wall time on this worker
+};
+
 /// The complete observable record of one run: header, per-window columnar
 /// metric series, per-island control rows and the event timeline. This is
 /// what the binary format serializes and `nocdvfs_report` renders.
 struct Timeline {
-  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::uint32_t kVersion = 3;
 
   /// Format version of the file this timeline was read from (writers
-  /// always emit kVersion; a v1 file reads back with the v2-only sections
-  /// empty).
+  /// always emit kVersion; an older file reads back with the newer-only
+  /// sections empty).
   std::uint32_t version = kVersion;
 
   int width = 0;   ///< NI grid (nodes)
@@ -187,6 +206,15 @@ struct Timeline {
   // --- v2 sections (empty when reading a v1 file) ---
   std::vector<FlightRecord> flights;         ///< sampled packet journeys
   std::vector<HistogramSnapshot> histograms; ///< latency distributions
+  // --- v3 sections (empty when reading a v1/v2 file) ---
+  /// Run-provenance manifest entries (scenario.*, build.*, host.*, mem.*).
+  std::vector<std::pair<std::string, std::string>> manifest;
+  /// Host phase profile, preorder (prof=on runs; see obs/prof.hpp).
+  std::vector<PhaseStats> host_phases;
+  /// SweepRunner per-point worker spans + per-worker utilization (sweep
+  /// host timelines only; empty for a single run's export).
+  std::vector<HostWorkerSpan> host_spans;
+  std::vector<HostWorkerStats> host_workers;
 
   int windows() const noexcept { return static_cast<int>(window_t_ps.size()); }
   const IslandWindowRow& island_row(int window, int island) const {

@@ -1,11 +1,13 @@
 #include "obs/timeline.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 namespace nocdvfs::obs {
 
@@ -180,6 +182,37 @@ void write_timeline_binary(const Timeline& tl, const std::string& path) {
     }
   }
 
+  // --- v3 sections ---
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.manifest.size()));
+  for (const auto& [key, value] : tl.manifest) {
+    put_str(os, key);
+    put_str(os, value);
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.host_phases.size()));
+  for (const PhaseStats& p : tl.host_phases) {
+    put_str(os, p.name);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(p.depth));
+    put<std::uint64_t>(os, p.calls);
+    put<std::uint64_t>(os, p.inclusive_ns);
+    put<std::uint64_t>(os, p.exclusive_ns);
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.host_spans.size()));
+  for (const HostWorkerSpan& sp : tl.host_spans) {
+    put<std::int32_t>(os, sp.worker);
+    put<std::uint64_t>(os, sp.point);
+    put<std::uint64_t>(os, sp.t0_ns);
+    put<std::uint64_t>(os, sp.t1_ns);
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tl.host_workers.size()));
+  for (const HostWorkerStats& w : tl.host_workers) {
+    put<std::int32_t>(os, w.worker);
+    put<std::uint64_t>(os, w.points);
+    put<std::uint64_t>(os, w.busy_ns);
+  }
+
   os.flush();
   if (!os) throw std::runtime_error("timeline: write to '" + path + "' failed");
 }
@@ -188,8 +221,30 @@ Timeline read_timeline_binary(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("timeline: cannot open '" + path + "'");
 
-  if (get<std::uint32_t>(is) != kMagic) {
-    throw std::runtime_error("timeline: '" + path + "' is not a .nocobs file (bad magic)");
+  char magic_bytes[4] = {};
+  is.read(magic_bytes, sizeof magic_bytes);
+  if (!is) throw std::runtime_error("timeline: truncated file");
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, magic_bytes, sizeof magic);
+  if (magic != kMagic) {
+    // The most common mix-up: handing a .noctrace packet trace to this
+    // reader. Name both magics and point at the right tool.
+    if (std::memcmp(magic_bytes, "NOCT", 4) == 0) {
+      throw std::runtime_error(
+          "timeline: '" + path +
+          "' starts with magic \"NOCT\" — this is a .noctrace packet trace, not a "
+          ".nocobs telemetry timeline (expected magic \"NOCO\"); inspect it with "
+          "nocdvfs_trace instead");
+    }
+    std::string found(magic_bytes, 4);
+    for (char& ch : found) {
+      if (static_cast<unsigned char>(ch) < 0x20 || static_cast<unsigned char>(ch) > 0x7E) {
+        ch = '.';
+      }
+    }
+    throw std::runtime_error("timeline: '" + path +
+                             "' is not a .nocobs file (found magic bytes \"" + found +
+                             "\", expected \"NOCO\")");
   }
   const auto version = get<std::uint32_t>(is);
   if (version < 1 || version > Timeline::kVersion) {
@@ -310,6 +365,49 @@ Timeline read_timeline_binary(const std::string& path) {
         snap.bucket_count.push_back(get<std::uint64_t>(is));
       }
       tl.histograms.push_back(std::move(snap));
+    }
+  }
+
+  if (version >= 3) {
+    const auto num_manifest = get<std::uint32_t>(is);
+    tl.manifest.reserve(num_manifest);
+    for (std::uint32_t m = 0; m < num_manifest; ++m) {
+      std::string key = get_str(is);
+      std::string value = get_str(is);
+      tl.manifest.emplace_back(std::move(key), std::move(value));
+    }
+
+    const auto num_phases = get<std::uint32_t>(is);
+    tl.host_phases.reserve(num_phases);
+    for (std::uint32_t p = 0; p < num_phases; ++p) {
+      PhaseStats ps;
+      ps.name = get_str(is);
+      ps.depth = static_cast<int>(get<std::uint32_t>(is));
+      ps.calls = get<std::uint64_t>(is);
+      ps.inclusive_ns = get<std::uint64_t>(is);
+      ps.exclusive_ns = get<std::uint64_t>(is);
+      tl.host_phases.push_back(std::move(ps));
+    }
+
+    const auto num_spans = get<std::uint32_t>(is);
+    tl.host_spans.reserve(num_spans);
+    for (std::uint32_t sp = 0; sp < num_spans; ++sp) {
+      HostWorkerSpan span;
+      span.worker = get<std::int32_t>(is);
+      span.point = get<std::uint64_t>(is);
+      span.t0_ns = get<std::uint64_t>(is);
+      span.t1_ns = get<std::uint64_t>(is);
+      tl.host_spans.push_back(span);
+    }
+
+    const auto num_workers = get<std::uint32_t>(is);
+    tl.host_workers.reserve(num_workers);
+    for (std::uint32_t w = 0; w < num_workers; ++w) {
+      HostWorkerStats stats;
+      stats.worker = get<std::int32_t>(is);
+      stats.points = get<std::uint64_t>(is);
+      stats.busy_ns = get<std::uint64_t>(is);
+      tl.host_workers.push_back(stats);
     }
   }
   return tl;
@@ -454,6 +552,75 @@ void write_timeline_perfetto(const Timeline& tl, std::ostream& os) {
             << R"(,"pid":)" << fpid << R"(,"tid":)" << tid << R"(,"ts":)"
             << to_us(eject_ps) << "}";
         }
+      }
+    }
+  }
+
+  // Host process (pid = num_islands + 2): the simulator's own phase
+  // profile and, for sweep exports, one track per SweepRunner worker.
+  if (!tl.host_phases.empty() || !tl.host_spans.empty()) {
+    const int hpid = tl.num_islands + 2;
+    const auto ns_to_us = [](std::uint64_t ns) { return static_cast<double>(ns) * 1e-3; };
+    {
+      auto& o = arr.next();
+      o << R"({"name":"process_name","ph":"M","pid":)" << hpid
+        << R"(,"tid":0,"args":{"name":"host"}})";
+    }
+    if (!tl.host_phases.empty()) {
+      {
+        auto& o = arr.next();
+        o << R"({"name":"thread_name","ph":"M","pid":)" << hpid
+          << R"(,"tid":0,"args":{"name":"phases"}})";
+      }
+      // The profile stores aggregates (per-phase totals), not raw events,
+      // so the flame view is a reconstruction: siblings are laid side by
+      // side inside their parent's inclusive span, preorder. A per-depth
+      // cursor tracks where the next span at that depth starts.
+      std::vector<std::uint64_t> cursor(1, 0);
+      for (const PhaseStats& p : tl.host_phases) {
+        const std::size_t d = static_cast<std::size_t>(p.depth);
+        if (d >= cursor.size()) cursor.resize(d + 1, 0);
+        const std::uint64_t start = cursor[d];
+        auto& o = arr.next();
+        o << R"({"name":)";
+        json_str(o, p.name);
+        o << R"(,"cat":"host","ph":"X","pid":)" << hpid << R"(,"tid":0,"ts":)"
+          << ns_to_us(start) << R"(,"dur":)" << ns_to_us(p.inclusive_ns)
+          << R"(,"args":{"calls":)" << p.calls << R"(,"inclusive_ms":)"
+          << static_cast<double>(p.inclusive_ns) * 1e-6 << R"(,"exclusive_ms":)"
+          << static_cast<double>(p.exclusive_ns) * 1e-6 << "}}";
+        cursor[d] = start + p.inclusive_ns;
+        if (d + 1 >= cursor.size()) cursor.resize(d + 2, 0);
+        cursor[d + 1] = start;  // children start at this phase's origin
+      }
+    }
+    if (!tl.host_spans.empty()) {
+      std::uint64_t sweep_end_ns = 0;
+      for (const HostWorkerSpan& sp : tl.host_spans) {
+        if (sp.t1_ns > sweep_end_ns) sweep_end_ns = sp.t1_ns;
+      }
+      for (const HostWorkerStats& w : tl.host_workers) {
+        const double util =
+            sweep_end_ns > 0 ? static_cast<double>(w.busy_ns) /
+                                   static_cast<double>(sweep_end_ns) * 100.0
+                             : 0.0;
+        char util_buf[48];
+        std::snprintf(util_buf, sizeof util_buf, "%.0f%% busy", util);
+        auto& o = arr.next();
+        o << R"({"name":"thread_name","ph":"M","pid":)" << hpid << R"(,"tid":)"
+          << (w.worker + 1) << R"(,"args":{"name":)";
+        json_str(o, "worker " + std::to_string(w.worker) + " (" +
+                        std::to_string(w.points) + " pts, " + util_buf + ")");
+        o << "}}";
+      }
+      for (const HostWorkerSpan& sp : tl.host_spans) {
+        auto& o = arr.next();
+        o << R"({"name":)";
+        json_str(o, "point #" + std::to_string(sp.point));
+        o << R"(,"cat":"host","ph":"X","pid":)" << hpid << R"(,"tid":)"
+          << (sp.worker + 1) << R"(,"ts":)" << ns_to_us(sp.t0_ns) << R"(,"dur":)"
+          << ns_to_us(sp.t1_ns - sp.t0_ns) << R"(,"args":{"point":)" << sp.point
+          << R"(,"worker":)" << sp.worker << "}}";
       }
     }
   }

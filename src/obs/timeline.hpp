@@ -5,7 +5,7 @@
 /// (`.nocobs`) for large runs and a Chrome trace-event / Perfetto JSON
 /// export for interactive inspection.
 ///
-/// ## Binary format (`.nocobs`, version 2)
+/// ## Binary format (`.nocobs`, version 3)
 ///
 /// All integers little-endian, strings length-prefixed (u32 + bytes):
 ///
@@ -30,6 +30,15 @@
 ///     u32 num_histograms; per histogram: str label, u64 count, min, max,
 ///         u32 num_buckets; per bucket: u32 index, u64 count
 ///
+/// Version 3 appends the host-observability sections (empty when reading
+/// a v1/v2 file):
+///
+///     u32 num_manifest; per entry: str key, str value
+///     u32 num_host_phases; per phase (preorder): str name, u32 depth,
+///         u64 calls, inclusive_ns, exclusive_ns
+///     u32 num_host_spans; per span: i32 worker, u64 point, t0_ns, t1_ns
+///     u32 num_host_workers; per worker: i32 worker, u64 points, busy_ns
+///
 /// ## Perfetto JSON
 ///
 /// `{"traceEvents": [...]}` with one process per island (pid = island + 1,
@@ -40,7 +49,11 @@
 /// live in one extra process (pid = num_islands + 1): per router visit an
 /// "X" hop span (args: route/VA/switch wait, out port) on a per-flight
 /// track, connected by "s"/"t"/"f" flow events keyed on the packet id so
-/// the journey renders as arrows across hops. Timestamps are µs
+/// the journey renders as arrows across hops. A "host" process
+/// (pid = num_islands + 2) carries the run's own phase profile — a flame
+/// view reconstructed from the per-phase aggregates — and, for sweep
+/// exports, one track per SweepRunner worker with its point spans and a
+/// utilization summary in the thread name. Timestamps are µs
 /// (trace-event convention), derived from the picosecond clock, and emitted
 /// in non-decreasing order per track. Load the file at https://ui.perfetto.dev
 /// or chrome://tracing.

@@ -11,6 +11,8 @@
 
 #include "common/units.hpp"
 #include "dvfs/dvfs_manager.hpp"
+#include "obs/manifest.hpp"
+#include "obs/prof.hpp"
 #include "power/power_model.hpp"
 #include "vfi/residency.hpp"
 
@@ -145,6 +147,17 @@ struct DelayDistResult {
   std::vector<Slice> hop_delay_ns;
 };
 
+/// Host-side observability slice of a run: wall time and peak RSS are
+/// always measured (they are host facts, free to sample, and carried as
+/// trailing CSV/JSONL columns); the phase profile is only populated for
+/// `prof=on` runs. None of this feeds back into the simulation, so the
+/// simulated metrics are bit-identical whether or not it is collected.
+struct HostResult {
+  double wall_s = 0.0;               ///< Simulator::run wall time, seconds
+  std::uint64_t peak_rss_bytes = 0;  ///< process VmHWM after the run (0 = unavailable)
+  obs::Profile profile;              ///< phase tree (prof=on runs only)
+};
+
 struct RunResult {
   // --- offered load ---
   double offered_lambda = 0.0;           ///< nominal, flits/node-cycle/node
@@ -204,6 +217,14 @@ struct RunResult {
 
   // --- latency distributions (hist= runs only; see DelayDistResult) ---
   DelayDistResult delay_dist;
+
+  // --- host observability (see HostResult) ---
+  HostResult host;
+
+  /// Run-provenance manifest: scenario keys + seed (sufficient to re-run
+  /// the point), build info, host calibration/wall/RSS, and the mem=on
+  /// byte breakdown. Serialized by the sinks and the .nocobs v3 section.
+  obs::RunManifest manifest;
 
   // --- derived efficiency metrics ---
   /// Total NoC energy per delivered payload bit over the measurement

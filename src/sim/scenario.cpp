@@ -321,6 +321,12 @@ std::string telemetry_config_problem(const Scenario& s) {
            "flights are exported with the telemetry timeline)";
   }
   if (s.pkt_trace_rate < 1) return "pkt_trace_rate must be >= 1";
+  if (s.prof != "on" && s.prof != "off") {
+    return "prof= must be on or off (got prof=" + s.prof + ")";
+  }
+  if (s.mem != "on" && s.mem != "off") {
+    return "mem= must be on or off (got mem=" + s.mem + ")";
+  }
   return "";
 }
 
@@ -396,6 +402,10 @@ void Scenario::declare_keys(common::Config& c, const Scenario& d) {
             "packet flight recorder: on|off (needs telemetry != off)");
   c.declare_int("pkt_trace_rate", static_cast<std::int64_t>(d.pkt_trace_rate),
                 "sample 1 in N packets (deterministic in the packet id)");
+  c.declare("prof", d.prof,
+            "host phase profiler: on|off (host-side only; metrics-invisible)");
+  c.declare("mem", d.mem,
+            "host memory breakdown in the run manifest: on|off");
 
   c.declare_bool("thermal", d.thermal,
                  "enable the RC thermal model, T-dependent leakage and throttling");
@@ -490,6 +500,8 @@ Scenario Scenario::from_config(const common::Config& c) {
   s.hist = c.get_string("hist");
   s.pkt_trace = c.get_string("pkt_trace");
   s.pkt_trace_rate = static_cast<std::uint64_t>(c.get_int("pkt_trace_rate"));
+  s.prof = c.get_string("prof");
+  s.mem = c.get_string("mem");
 
   s.thermal = c.get_bool("thermal");
   s.thermal_step_ns = c.get_double("thermal_step_ns");
@@ -565,6 +577,15 @@ std::unique_ptr<Simulator> make_simulator(const Scenario& s) {
   sim_cfg.hist = s.hist == "on";
   sim_cfg.pkt_trace = s.pkt_trace == "on" && sim_cfg.telemetry.enabled();
   sim_cfg.pkt_trace_rate = s.pkt_trace_rate;
+  sim_cfg.prof = s.prof == "on";
+  sim_cfg.mem = s.mem == "on";
+  {
+    // Dump the full declared scenario surface for the run-provenance
+    // manifest: these keys + the seed are sufficient to re-run the point.
+    common::Config mc;
+    Scenario::declare_keys(mc, s);
+    sim_cfg.manifest_keys = mc.kv_pairs();
+  }
   if (s.thermal) {
     sim_cfg.thermal.enabled = true;
     sim_cfg.thermal.params = thermal_params_from(s);

@@ -121,6 +121,16 @@ struct Scenario {
   std::string pkt_trace = "off";
   /// Sample 1 in N packets (deterministic in the packet id); >= 1.
   std::uint64_t pkt_trace_rate = 64;
+  /// `on` profiles the *host*: RAII phase scopes around the simulator
+  /// main-loop phases feed a per-thread tree (RunResult::host.profile,
+  /// nocdvfs_report profile, the Perfetto "host" process). Host-side
+  /// only — simulated metrics are bit-identical either way; `off` (the
+  /// default) costs one predictable branch per scope.
+  std::string prof = "off";
+  /// `on` adds a host memory breakdown (flits in flight, timeline,
+  /// histogram pools, trace buffers) to the run manifest as `mem.*`
+  /// entries. Computed once at end of run; no hot-path counters.
+  std::string mem = "off";
 
   // --- thermal model & throttling (src/thermal/, dvfs/thermal_guard.hpp) ---
   /// Enable the RC thermal network, temperature-dependent leakage and the

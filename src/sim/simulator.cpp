@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
@@ -8,6 +9,9 @@
 #include "common/stats.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/latency_hist.hpp"
+#include "obs/manifest.hpp"
+#include "obs/memstats.hpp"
+#include "obs/prof.hpp"
 #include "obs/timeline.hpp"
 
 namespace nocdvfs::sim {
@@ -77,6 +81,15 @@ Simulator::Simulator(const SimulatorConfig& cfg, std::unique_ptr<traffic::Traffi
 }
 
 RunResult Simulator::run(const RunPhases& phases) {
+  // Host observability: the wall clock always runs (it is a host fact,
+  // free to read); the phase collector only exists for prof=on runs and
+  // is installed thread-locally, so parallel sweep workers with mixed
+  // prof settings never contaminate each other. Neither feeds anything
+  // back into the simulation.
+  const auto host_t0 = std::chrono::steady_clock::now();
+  obs::prof::Collector prof_collector;
+  if (cfg_.prof) prof_collector.install();
+
   const std::uint64_t period = bank_.control_period_node_cycles();
   const std::uint64_t warmup_target = round_up_to_period(phases.warmup_node_cycles, period);
   const std::uint64_t max_warmup =
@@ -817,52 +830,140 @@ RunResult Simulator::run(const RunPhases& phases) {
         }
       }
 
-      if (!cfg_.telemetry.out_base.empty()) {
-        obs::write_timeline_binary(timeline, cfg_.telemetry.out_base + ".nocobs");
-        obs::write_timeline_perfetto(timeline, cfg_.telemetry.out_base + ".json");
-      }
+      // The file export happens after the main loop (below), once the
+      // host profile and manifest have been attached to the timeline.
     }
   };
 
   std::uint64_t measure_end_node = 0;
-  while (true) {
-    const auto edge = clock_.advance();
-    if (edge.node) {
-      traffic_->node_tick(clock_.now(), clock_.noc_cycles(0), net_);
-      if (clock_.node_cycles() % period == 0) {
-        // Drain fault epochs first: their timestamps fall inside the
-        // elapsed window, before anything stamped at this boundary.
-        if (telem_on) telemetry_drain_faults();
-        if (thermal_on) thermal_boundary();
-        if (measuring && clock_.node_cycles() >= measure_end_node) {
-          finalize();
-          break;
+  {
+    // The root phase: everything the main loop and finalize do, so the
+    // profile's inclusive root tracks the run's wall time.
+    PROF_SCOPE("run");
+    while (true) {
+      const auto edge = clock_.advance();
+      if (edge.node) {
+        {
+          PROF_SCOPE("node_domain");
+          traffic_->node_tick(clock_.now(), clock_.noc_cycles(0), net_);
         }
-        do_control_updates();
-        if (telem_on) telemetry_boundary();
-        if (!measuring) {
-          const std::uint64_t cycles = clock_.node_cycles();
-          const bool warm = cycles >= warmup_target;
-          const bool ready = !phases.adaptive_warmup || settled() || cycles >= max_warmup;
-          if (warm && ready) {
-            begin_measurement();
-            measure_end_node = clock_.node_cycles() + measure_span;
+        if (clock_.node_cycles() % period == 0) {
+          // Drain fault epochs first: their timestamps fall inside the
+          // elapsed window, before anything stamped at this boundary.
+          if (telem_on) {
+            PROF_SCOPE("telemetry_sample");
+            telemetry_drain_faults();
+          }
+          if (thermal_on) {
+            PROF_SCOPE("thermal_step");
+            thermal_boundary();
+          }
+          if (measuring && clock_.node_cycles() >= measure_end_node) {
+            PROF_SCOPE("finalize");
+            finalize();
+            break;
+          }
+          {
+            PROF_SCOPE("control_window");
+            do_control_updates();
+          }
+          if (telem_on) {
+            PROF_SCOPE("telemetry_sample");
+            telemetry_boundary();
+          }
+          if (!measuring) {
+            const std::uint64_t cycles = clock_.node_cycles();
+            const bool warm = cycles >= warmup_target;
+            const bool ready = !phases.adaptive_warmup || settled() || cycles >= max_warmup;
+            if (warm && ready) {
+              begin_measurement();
+              measure_end_node = clock_.node_cycles() + measure_span;
+            }
+          }
+        }
+      }
+      if (edge.noc_any) {
+        // Tick every fired island before any island's phases run, so a CDC
+        // push at this instant never sees the reader's same-instant tick.
+        {
+          PROF_SCOPE("channel_tick");
+          for (const int d : clock_.fired()) net_.tick_island(d);
+        }
+        for (const int d : clock_.fired()) {
+          PROF_SCOPE_ID("island_step", d);
+          net_.run_island_phases(d, clock_.now());
+          const std::uint64_t occ = net_.island_buffered_flits_now(d);
+          win[static_cast<std::size_t>(d)].occupancy_sum += occ;
+          if (measuring) meas[static_cast<std::size_t>(d)].occupancy_sum += occ;
+          {
+            PROF_SCOPE("deliveries");
+            process_delivered();
           }
         }
       }
     }
-    if (edge.noc_any) {
-      // Tick every fired island before any island's phases run, so a CDC
-      // push at this instant never sees the reader's same-instant tick.
-      for (const int d : clock_.fired()) net_.tick_island(d);
-      for (const int d : clock_.fired()) {
-        net_.run_island_phases(d, clock_.now());
-        const std::uint64_t occ = net_.island_buffered_flits_now(d);
-        win[static_cast<std::size_t>(d)].occupancy_sum += occ;
-        if (measuring) meas[static_cast<std::size_t>(d)].occupancy_sum += occ;
-        process_delivered();
-      }
+  }
+
+  // --- host observability epilogue (never feeds back into the metrics) ---
+  if (cfg_.prof) {
+    prof_collector.uninstall();
+    result.host.profile = prof_collector.take();
+  }
+  result.host.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0).count();
+  result.host.peak_rss_bytes = obs::sample_process_memory().peak_rss_bytes;
+
+  // Run-provenance manifest: scenario keys + seed (sufficient to re-run
+  // the point), build info, host facts, and the mem=on byte breakdown.
+  for (const auto& [k, v] : cfg_.manifest_keys) result.manifest.set("scenario." + k, v);
+  obs::fill_build_info(result.manifest);
+  if (cfg_.prof) {
+    // The ~0.2 s spin runs once per process, and only for profiled runs,
+    // so it never pollutes a timed region.
+    result.manifest.set_double("host.calib_mops", obs::host_calib_mops());
+  }
+  result.manifest.set_double("host.wall_s", result.host.wall_s);
+  result.manifest.set("host.peak_rss_bytes", result.host.peak_rss_bytes);
+  if (cfg_.mem) {
+    obs::MemBreakdown mem;
+    const std::uint64_t flits = net_.buffered_flits_now() + net_.total_source_backlog_flits();
+    mem.add("flits_in_flight", flits, flits * sizeof(noc::Flit));
+    std::uint64_t tl_bytes = timeline.window_t_ps.size() * sizeof(std::uint64_t) +
+                             timeline.island_rows.size() * sizeof(obs::IslandWindowRow) +
+                             timeline.events.size() * sizeof(obs::TimelineEvent);
+    for (const obs::MetricSeries& s : timeline.series) {
+      tl_bytes += s.counts.size() * sizeof(std::uint64_t) + s.gauges.size() * sizeof(double);
     }
+    std::uint64_t flight_bytes = timeline.flights.size() * sizeof(obs::FlightRecord);
+    for (const obs::FlightRecord& f : timeline.flights) {
+      flight_bytes += f.events.size() * sizeof(obs::FlightEvent);
+    }
+    mem.add("timeline", timeline.series.size(), tl_bytes);
+    mem.add("flight_recorder", timeline.flights.size(), flight_bytes);
+    mem.add("histogram_pool",
+            hist_on ? 2 + hist_island_delay.size() + hist_hop_delay.size() : 0,
+            hist_on ? (2 + hist_island_delay.size() + hist_hop_delay.size()) *
+                          sizeof(obs::LatencyHistogram)
+                    : 0);
+    std::uint64_t trace_points = result.vf_trace.size();
+    for (const IslandResult& isl : result.islands) trace_points += isl.vf_trace.size();
+    mem.add("vf_traces", trace_points, trace_points * sizeof(dvfs::VfTracePoint));
+    mem.add("window_trace", result.window_trace.size(),
+            result.window_trace.size() * sizeof(WindowSample));
+    for (const obs::MemOwner& o : mem.owners) {
+      result.manifest.set("mem." + o.name + ".objects", o.objects);
+      result.manifest.set("mem." + o.name + ".bytes", o.bytes);
+    }
+    result.manifest.set("mem.total_bytes", mem.total_bytes());
+  }
+
+  if (telem_on && !cfg_.telemetry.out_base.empty()) {
+    // Attach the v3 host sections, then export (moved out of finalize so
+    // the files carry the completed profile + manifest).
+    timeline.manifest = result.manifest.entries;
+    timeline.host_phases = result.host.profile.phases;
+    obs::write_timeline_binary(timeline, cfg_.telemetry.out_base + ".nocobs");
+    obs::write_timeline_perfetto(timeline, cfg_.telemetry.out_base + ".json");
   }
   return result;
 }

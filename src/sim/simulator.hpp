@@ -26,6 +26,8 @@
 /// under which delay statistics stop converging.
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "dvfs/dvfs_manager.hpp"
@@ -76,6 +78,17 @@ struct SimulatorConfig {
   /// flights ride in the exported .nocobs/Perfetto files).
   bool pkt_trace = false;
   std::uint64_t pkt_trace_rate = 64;  ///< sample 1 in N packets (>= 1)
+  /// Host phase profiler (RunResult::host.profile). Host-side only — the
+  /// simulated metrics are bit-identical either way; off costs one
+  /// predictable branch per scope.
+  bool prof = false;
+  /// Host memory breakdown (mem.* manifest entries), computed once at the
+  /// end of the run; no hot-path counters.
+  bool mem = false;
+  /// Scenario key=value dump for the run-provenance manifest, as produced
+  /// by Config::kv_pairs over the declared scenario surface. Empty when
+  /// the Simulator was assembled without a Scenario (unit tests).
+  std::vector<std::pair<std::string, std::string>> manifest_keys;
 };
 
 struct RunPhases {

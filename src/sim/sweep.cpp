@@ -13,6 +13,7 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/timeline.hpp"
 #include "vfi/residency.hpp"
 
 namespace nocdvfs::sim {
@@ -254,7 +255,13 @@ std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
   std::mutex error_mutex;
   const std::string sweep_name = group.empty() ? "sweep" : "sweep '" + group + "'";
 
-  auto worker = [&]() {
+  // Per-worker span logs (worker-private, so no contention); merged into
+  // host_report_ after the pool drains.
+  const auto sweep_t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<obs::HostWorkerSpan>> worker_spans(
+      static_cast<std::size_t>(threads));
+
+  auto worker = [&](int wid) {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= points.size()) return;
@@ -265,9 +272,17 @@ std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
       try {
         const auto t0 = std::chrono::steady_clock::now();
         results[i] = sim::run(points[i].scenario);
-        const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count();
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto wall_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
+        obs::HostWorkerSpan span;
+        span.worker = wid;
+        span.point = i;
+        span.t0_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - sweep_t0).count());
+        span.t1_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - sweep_t0).count());
+        worker_spans[static_cast<std::size_t>(wid)].push_back(span);
         const std::size_t done = completed.fetch_add(1) + 1;
         common::log_info(sweep_name, ": ", done, "/", points.size(), " done (point #", i,
                          !points[i].label(axes).empty() ? " " + points[i].label(axes) : "",
@@ -281,14 +296,36 @@ std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
   };
 
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+
+  host_report_ = SweepHostReport{};
+  host_report_.wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - sweep_t0)
+          .count();
+  for (int t = 0; t < threads; ++t) {
+    const auto& spans = worker_spans[static_cast<std::size_t>(t)];
+    obs::HostWorkerStats stats;
+    stats.worker = t;
+    for (const obs::HostWorkerSpan& span : spans) {
+      ++stats.points;
+      stats.busy_ns += span.t1_ns - span.t0_ns;
+      host_report_.spans.push_back(span);
+    }
+    host_report_.workers.push_back(stats);
+  }
+  // Merge per-run profiles in row-major point order: deterministic phase
+  // ordering regardless of which worker ran which point.
+  for (const RunResult& r : results) {
+    if (!r.host.profile.empty()) host_report_.profile.merge(r.host.profile);
+  }
 
   std::vector<SweepRecord> records;
   records.reserve(points.size());
@@ -302,6 +339,15 @@ std::vector<SweepRecord> SweepRunner::run(const Scenario& base,
   }
   for (ResultSink* sink : sinks_) sink->end_sweep();
   return records;
+}
+
+void write_sweep_host_timeline(const SweepHostReport& report, const std::string& out_base) {
+  obs::Timeline tl;  // host-only: no islands, no windows, no series
+  tl.host_phases = report.profile.phases;
+  tl.host_spans = report.spans;
+  tl.host_workers = report.workers;
+  obs::write_timeline_binary(tl, out_base + ".nocobs");
+  obs::write_timeline_perfetto(tl, out_base + ".json");
 }
 
 // ---------------------------------------------------------------------------
@@ -328,6 +374,20 @@ std::string residency_cell(const RunResult& r) {
     if (!out.empty()) out += ';';
     out += 'i' + std::to_string(isl.island) + '=' +
            vfi::residency_to_string(isl.freq_residency, r.measure_duration_ps);
+  }
+  return out;
+}
+
+/// "seed=1;scenario.lambda=0.1;..." — the full run-provenance manifest in
+/// one cell (';'-joined key=value pairs; csv_escape handles embedded
+/// commas in values like island_policies).
+std::string manifest_cell(const obs::RunManifest& m) {
+  std::string out;
+  for (const auto& [key, value] : m.entries) {
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
   }
   return out;
 }
@@ -394,7 +454,8 @@ void CsvResultSink::begin_sweep(const std::string& group,
            "telemetry,stall_route,stall_vc_alloc,stall_switch,stall_credit,"
            "stall_drop,hot_tile,hot_tile_flits,hot_link,hot_link_flits,"
            "min_delay_ns,max_delay_ns,hist,dist_p50_ns,dist_p90_ns,dist_p95_ns,"
-           "dist_p99_ns,dist_p999_ns,dist_max_ns\n";
+           "dist_p99_ns,dist_p999_ns,dist_max_ns,"
+           "host_wall_s,peak_rss_mb,manifest\n";
     header_written_ = true;
   }
 }
@@ -445,6 +506,9 @@ void CsvResultSink::on_result(const SweepRecord& record) {
       << (dd.enabled ? "on" : "off") << ',' << dd.delay_ns.p50 << ','
       << dd.delay_ns.p90 << ',' << dd.delay_ns.p95 << ',' << dd.delay_ns.p99 << ','
       << dd.delay_ns.p999 << ',' << dd.delay_ns.max;
+  row << ',' << r.host.wall_s << ','
+      << static_cast<double>(r.host.peak_rss_bytes) / (1024.0 * 1024.0) << ','
+      << csv_escape(manifest_cell(r.manifest));
   row << '\n';
   os_ << row.str();
 }
@@ -606,6 +670,14 @@ void JsonlResultSink::on_result(const SweepRecord& record) {
     }
     os << ']';
   }
+  os << ",\"host\":{\"wall_s\":" << r.host.wall_s
+     << ",\"peak_rss_bytes\":" << r.host.peak_rss_bytes << "},\"manifest\":{";
+  for (std::size_t i = 0; i < r.manifest.entries.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(r.manifest.entries[i].first) << "\":\""
+       << json_escape(r.manifest.entries[i].second) << '"';
+  }
+  os << '}';
   os << "}\n";
   os_ << os.str();
 }

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/prof.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 
 namespace nocdvfs::sim {
@@ -67,6 +69,23 @@ struct SweepRecord {
   SweepPoint point;
   RunResult result;
 };
+
+/// Host-side record of one SweepRunner::run call: total wall time, the
+/// phase profile merged across every point that ran with `prof=on`, and
+/// per-worker point spans + utilization (timestamps relative to the sweep
+/// start). `write_sweep_host_timeline` turns this into a host-only
+/// `.nocobs`/Perfetto pair for `nocdvfs_report profile` / ui.perfetto.dev.
+struct SweepHostReport {
+  double wall_s = 0.0;
+  obs::Profile profile;  ///< merged in row-major point order (deterministic)
+  std::vector<obs::HostWorkerSpan> spans;
+  std::vector<obs::HostWorkerStats> workers;
+};
+
+/// Write `report` as a host-only telemetry timeline: `<out_base>.nocobs`
+/// (binary v3, host sections only) and `<out_base>.json` (Perfetto "host"
+/// process with the phase flame and one track per worker).
+void write_sweep_host_timeline(const SweepHostReport& report, const std::string& out_base);
 
 /// Observer of completed sweeps. `on_result` is invoked once per point in
 /// row-major order after the sweep finishes (never concurrently).
@@ -142,9 +161,13 @@ class SweepRunner {
 
   int resolved_threads(std::size_t num_points) const;
 
+  /// Host-side report of the most recent run() call (empty before any).
+  const SweepHostReport& host_report() const noexcept { return host_report_; }
+
  private:
   Options options_;
   std::vector<ResultSink*> sinks_;
+  SweepHostReport host_report_;
 };
 
 }  // namespace nocdvfs::sim

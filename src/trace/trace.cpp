@@ -140,7 +140,22 @@ TraceReader::TraceReader(const std::string& path) : path_(path) {
     corrupt(path, "truncated header");
   }
   if (std::memcmp(buf, kTraceMagic, sizeof(kTraceMagic)) != 0) {
-    corrupt(path, "bad magic (not a .noctrace file)");
+    // The most common mix-up: handing a .nocobs telemetry timeline to this
+    // reader. Name both magics and point at the right tool.
+    if (std::memcmp(buf, "NOCO", 4) == 0) {
+      corrupt(path,
+              "starts with magic \"NOCO\" — this is a .nocobs telemetry timeline, not a "
+              ".noctrace packet trace (expected magic \"NOCTRACE\"); inspect it with "
+              "nocdvfs_report instead");
+    }
+    std::string found(reinterpret_cast<const char*>(buf), 8);
+    for (char& ch : found) {
+      if (static_cast<unsigned char>(ch) < 0x20 || static_cast<unsigned char>(ch) > 0x7E) {
+        ch = '.';
+      }
+    }
+    corrupt(path, "bad magic (found bytes \"" + found +
+                      "\", expected \"NOCTRACE\" — not a .noctrace file)");
   }
   const std::uint16_t version = get_u16(buf + 8);
   if (version != kTraceVersion) {

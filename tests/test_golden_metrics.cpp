@@ -180,5 +180,26 @@ TEST(GoldenMetrics, SkipIdleOffIsBitIdentical) {
   }
 }
 
+/// The host profiler and memory accounting must be metrically invisible:
+/// a slice of the matrix re-run with prof=on mem=on produces byte-identical
+/// headline lines. Host observability reads the wall clock and /proc, never
+/// simulator state that feeds back into the run.
+TEST(GoldenMetrics, ProfilingIsBitIdentical) {
+  const std::vector<Scenario> matrix = golden_matrix();
+  for (const std::size_t i : {0u, 7u, 17u, 30u}) {
+    ASSERT_LT(i, matrix.size());
+    Scenario off = matrix[i];
+    Scenario on = matrix[i];
+    on.prof = "on";
+    on.mem = "on";
+    const std::string name = scenario_name(on);
+    const RunResult r_on = run(on);
+    EXPECT_FALSE(r_on.host.profile.empty())
+        << "prof=on produced no host profile for " << name;
+    EXPECT_EQ(metrics_line(name, r_on), metrics_line(name, run(off)))
+        << "prof=on mem=on changed headline metrics for " << name;
+  }
+}
+
 }  // namespace
 }  // namespace nocdvfs::sim

@@ -12,6 +12,11 @@
 ///   nocdvfs_report events  <file.nocobs> [n]        the event timeline
 ///   nocdvfs_report percentiles <file.nocobs>        latency-distribution
 ///                                                   tables (hist=on runs)
+///   nocdvfs_report profile <file.nocobs>            host phase profile, top
+///                                                   exclusive costs, worker
+///                                                   utilization, manifest
+///                                                   (prof=on runs / sweep
+///                                                   host timelines)
 ///
 /// Everything renders from the binary timeline alone — no simulator state
 /// — so reports work on artifacts copied off CI.
@@ -35,8 +40,8 @@ using nocdvfs::obs::Timeline;
 
 int usage() {
   std::cerr
-      << "usage: nocdvfs_report <summary|heatmap|links|islands|events|percentiles> "
-         "<file.nocobs> [metric|count]\n"
+      << "usage: nocdvfs_report <summary|heatmap|links|islands|events|percentiles|"
+         "profile> <file.nocobs> [metric|count]\n"
          "  summary     header, stall-cause breakdown, hot tiles/links, island recap\n"
          "  heatmap     ASCII per-tile heatmap of a tile metric (default "
          "flits_forwarded;\n"
@@ -46,7 +51,9 @@ int usage() {
          "  islands     per-island actuation summary (policy, f stats, events)\n"
          "  events      the run's event timeline (first [count] events; default all)\n"
          "  percentiles latency-distribution tables: p50..p99.9 per scope "
-         "(hist=on runs)\n";
+         "(hist=on runs)\n"
+         "  profile     host phase profile + top exclusive costs, sweep-worker\n"
+         "              utilization, and the run-provenance manifest (prof=on runs)\n";
   return 2;
 }
 
@@ -262,6 +269,91 @@ int cmd_events(const Timeline& tl, int count) {
   return 0;
 }
 
+int cmd_profile(const Timeline& tl, const std::string& path) {
+  using nocdvfs::obs::PhaseStats;
+  if (tl.host_phases.empty() && tl.host_workers.empty() && tl.manifest.empty()) {
+    std::cerr << "error: no host-observability sections in this timeline (record "
+                 "them with prof=on telemetry=windows|full telemetry_out=<base>, "
+                 "or export a sweep host timeline)\n";
+    return 1;
+  }
+  std::cout << "file:   " << path << "\n"
+            << "format: nocobs v" << tl.version << "\n";
+
+  if (!tl.host_phases.empty()) {
+    const std::uint64_t root_ns = tl.host_phases.front().inclusive_ns;
+    std::cout << "\nhost phase profile (inclusive tree, preorder):\n"
+              << std::left << std::setw(34) << "  phase" << std::right << std::setw(10)
+              << "calls" << std::setw(13) << "incl(ms)" << std::setw(13) << "excl(ms)"
+              << std::setw(9) << "incl%" << "\n";
+    for (const PhaseStats& p : tl.host_phases) {
+      std::string name(static_cast<std::size_t>(p.depth) * 2, ' ');
+      name += p.name;
+      if (name.size() > 32) name = name.substr(0, 29) + "...";
+      const double pct = root_ns > 0 ? 100.0 * static_cast<double>(p.inclusive_ns) /
+                                           static_cast<double>(root_ns)
+                                     : 0.0;
+      std::cout << "  " << std::left << std::setw(32) << name << std::right
+                << std::setw(10) << p.calls << std::fixed << std::setprecision(3)
+                << std::setw(13) << static_cast<double>(p.inclusive_ns) * 1e-6
+                << std::setw(13) << static_cast<double>(p.exclusive_ns) * 1e-6
+                << std::setprecision(1) << std::setw(8) << pct << "%"
+                << std::defaultfloat << "\n";
+    }
+
+    std::vector<const PhaseStats*> by_excl;
+    for (const PhaseStats& p : tl.host_phases) by_excl.push_back(&p);
+    std::sort(by_excl.begin(), by_excl.end(), [](const PhaseStats* a, const PhaseStats* b) {
+      return a->exclusive_ns != b->exclusive_ns ? a->exclusive_ns > b->exclusive_ns
+                                                : a->name < b->name;
+    });
+    std::cout << "\ntop exclusive costs (where the wall time actually went):\n";
+    for (std::size_t i = 0; i < by_excl.size() && i < 8; ++i) {
+      const PhaseStats& p = *by_excl[i];
+      const double pct = root_ns > 0 ? 100.0 * static_cast<double>(p.exclusive_ns) /
+                                           static_cast<double>(root_ns)
+                                     : 0.0;
+      std::cout << "  " << std::left << std::setw(26) << p.name << std::right
+                << std::fixed << std::setprecision(3) << std::setw(13)
+                << static_cast<double>(p.exclusive_ns) * 1e-6 << " ms"
+                << std::setprecision(1) << std::setw(7) << pct << "%"
+                << std::defaultfloat << "\n";
+    }
+  }
+
+  if (!tl.host_workers.empty()) {
+    std::uint64_t sweep_end_ns = 0;
+    for (const nocdvfs::obs::HostWorkerSpan& sp : tl.host_spans) {
+      sweep_end_ns = std::max(sweep_end_ns, sp.t1_ns);
+    }
+    std::cout << "\nsweep workers (" << tl.host_workers.size() << ", sweep span "
+              << std::fixed << std::setprecision(3)
+              << static_cast<double>(sweep_end_ns) * 1e-9 << " s):\n"
+              << std::defaultfloat << std::left << std::setw(10) << "  worker"
+              << std::right << std::setw(8) << "points" << std::setw(12) << "busy(s)"
+              << std::setw(8) << "util" << "\n";
+    for (const nocdvfs::obs::HostWorkerStats& w : tl.host_workers) {
+      const double util = sweep_end_ns > 0 ? 100.0 * static_cast<double>(w.busy_ns) /
+                                                 static_cast<double>(sweep_end_ns)
+                                           : 0.0;
+      std::cout << "  " << std::left << std::setw(8) << w.worker << std::right
+                << std::setw(8) << w.points << std::fixed << std::setprecision(3)
+                << std::setw(12) << static_cast<double>(w.busy_ns) * 1e-9
+                << std::setprecision(1) << std::setw(7) << util << "%"
+                << std::defaultfloat << "\n";
+    }
+  }
+
+  if (!tl.manifest.empty()) {
+    std::cout << "\nrun manifest (" << tl.manifest.size() << " entries):\n";
+    for (const auto& [key, value] : tl.manifest) {
+      std::cout << "  " << std::left << std::setw(32) << key << std::right << "  "
+                << value << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_summary(const Timeline& tl, const std::string& path) {
   print_header(tl, path);
 
@@ -348,6 +440,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "islands") return cmd_islands(tl);
     if (cmd == "percentiles") return cmd_percentiles(tl);
+    if (cmd == "profile") return cmd_profile(tl, path);
     if (cmd == "events") {
       const int count = argc > 3 ? std::stoi(argv[3]) : 0;
       return cmd_events(tl, count);
